@@ -1,0 +1,23 @@
+// Command datagen generates the paper's Table I synthetic datasets
+// (c10k, c100k, r10k, r100k, r1m) as text or binary files.
+//
+// Usage:
+//
+//	datagen -dataset r10k -out data/                # one dataset
+//	datagen -dataset all -format bin -out data/     # all five, binary
+//	datagen -dataset r1m -scale 0.1 -out data/      # scaled-down r1m
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sparkdbscan/internal/cli"
+)
+
+func main() {
+	if err := cli.RunDatagen(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}

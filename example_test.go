@@ -1,0 +1,72 @@
+package sparkdbscan_test
+
+import (
+	"fmt"
+
+	"sparkdbscan"
+)
+
+// Three tight 2-d blobs plus one far-away point, clustered on a 4-core
+// virtual cluster.
+func ExampleCluster() {
+	coords := [][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1},
+		{50, 50}, {51, 50}, {50, 51}, {51, 51},
+		{100, 0}, {101, 0}, {100, 1}, {101, 1},
+		{200, 200}, // noise
+	}
+	ds := sparkdbscan.NewDataset(len(coords), 2)
+	for i, c := range coords {
+		ds.Set(int32(i), c)
+	}
+	res, err := sparkdbscan.Cluster(ds, sparkdbscan.Config{
+		Eps:    2,
+		MinPts: 3,
+		Cores:  4,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("clusters=%d noise=%d\n", res.NumClusters, res.NumNoise)
+	fmt.Printf("first blob together: %v\n",
+		res.Labels[0] == res.Labels[1] && res.Labels[1] == res.Labels[2])
+	fmt.Printf("outlier is noise: %v\n", res.Labels[12] == sparkdbscan.Noise)
+	// Output:
+	// clusters=3 noise=1
+	// first blob together: true
+	// outlier is noise: true
+}
+
+// The sequential reference produces the same structure.
+func ExampleClusterSequential() {
+	coords := [][]float64{
+		{0, 0}, {1, 0}, {0, 1},
+		{10, 10}, {11, 10}, {10, 11},
+	}
+	ds := sparkdbscan.NewDataset(len(coords), 2)
+	for i, c := range coords {
+		ds.Set(int32(i), c)
+	}
+	res, err := sparkdbscan.ClusterSequential(ds, 2, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("clusters=%d noise=%d\n", res.NumClusters, res.NumNoise)
+	// Output:
+	// clusters=2 noise=0
+}
+
+// Generating one of the paper's Table I datasets, scaled down.
+func ExampleGenerate() {
+	ds, err := sparkdbscan.Generate("r10k", 1000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	eps, minPts := sparkdbscan.TableIParams()
+	fmt.Printf("points=%d dim=%d eps=%g minpts=%d\n", ds.Len(), ds.Dim, eps, minPts)
+	// Output:
+	// points=1000 dim=10 eps=25 minpts=5
+}

@@ -1,0 +1,73 @@
+// Quickstart: build a small 2-d dataset, cluster it with the
+// distributed DBSCAN, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sparkdbscan"
+)
+
+func main() {
+	// Three Gaussian blobs plus some scattered noise, 2000 points.
+	rng := rand.New(rand.NewSource(42))
+	centers := [][2]float64{{20, 20}, {70, 25}, {45, 75}}
+	const perBlob, noisePts = 600, 200
+
+	ds := sparkdbscan.NewDataset(len(centers)*perBlob+noisePts, 2)
+	i := int32(0)
+	for _, c := range centers {
+		for k := 0; k < perBlob; k++ {
+			ds.Set(i, []float64{
+				c[0] + rng.NormFloat64()*3,
+				c[1] + rng.NormFloat64()*3,
+			})
+			i++
+		}
+	}
+	for k := 0; k < noisePts; k++ {
+		ds.Set(i, []float64{rng.Float64() * 100, rng.Float64() * 100})
+		i++
+	}
+
+	// Cluster on a 4-core virtual cluster. eps/minPts work exactly as
+	// in classic DBSCAN; Cores/Partitions control the distribution.
+	res, err := sparkdbscan.Cluster(ds, sparkdbscan.Config{
+		Eps:    2.5,
+		MinPts: 8,
+		Cores:  4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("found %d clusters, %d noise points (of %d)\n",
+		res.NumClusters, res.NumNoise, ds.Len())
+	for id, size := range res.ClusterSizes() {
+		// Locate each cluster by averaging its members.
+		var cx, cy float64
+		members := res.Members(int32(id))
+		for _, m := range members {
+			p := ds.At(m)
+			cx += p[0]
+			cy += p[1]
+		}
+		cx /= float64(len(members))
+		cy /= float64(len(members))
+		fmt.Printf("  cluster %d: %4d points around (%.1f, %.1f)\n", id, size, cx, cy)
+	}
+	fmt.Printf("\ntiming: %.2fs in executors, %.2fs in the driver\n",
+		res.Timing.Executors, res.Timing.Driver())
+
+	// The same call with Cores left at zero-equivalent (sequential
+	// reference) must agree on the structure.
+	seq, err := sparkdbscan.ClusterSequential(ds, 2.5, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential check: %d clusters, %d noise\n", seq.NumClusters, seq.NumNoise)
+}

@@ -1,0 +1,3 @@
+module sparkdbscan
+
+go 1.22

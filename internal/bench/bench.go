@@ -1,0 +1,415 @@
+// Package bench is the experiment harness: one registered experiment
+// per table and figure of the paper's evaluation (§V), each of which
+// regenerates the corresponding rows/series. The absolute numbers come
+// from the calibrated cost model (see simtime); the claims under test
+// are the *shapes* — who wins, by what factor, where the curves bend —
+// and each experiment prints the paper's anchor values next to the
+// measured ones so the comparison is explicit.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+
+	"sparkdbscan/internal/core"
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/quest"
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/spark"
+)
+
+// Options tunes a harness run.
+type Options struct {
+	// Scale multiplies every dataset size (1.0 = the paper's Table I
+	// sizes). The test suite uses small scales; benchrunner defaults
+	// to 1.0. Cluster structure is preserved (cluster count scales,
+	// per-cluster density does not).
+	Scale float64
+	// Model overrides the cost model (nil = calibrated default).
+	Model *simtime.CostModel
+	// Seed feeds the straggler jitter.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Model == nil {
+		o.Model = simtime.DefaultModel()
+	}
+	if o.Seed == 0 {
+		o.Seed = 0x5eed
+	}
+	return o
+}
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarizes the anchor values the paper reports.
+	Paper string
+	Run   func(opts Options, w io.Writer) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID:    "table1",
+			Title: "Table I: properties of test data",
+			Paper: "5 datasets, d=10, eps=25, minpts=5; 10k-1m points",
+			Run:   runTable1,
+		},
+		{
+			ID:    "fig5",
+			Title: "Figure 5: kd-tree construction time vs whole DBSCAN (per mille, 8 partitions)",
+			Paper: "0.5 to 5.5 per mille (0.05%-0.5%); higher for the 10k datasets",
+			Run:   runFig5,
+		},
+		{
+			ID:    "fig6a",
+			Title: "Figure 6a: driver/executor time split and partial clusters, r10k",
+			Paper: "partial clusters 10->392 from 1 to 8 cores; driver time roughly flat",
+			Run:   func(o Options, w io.Writer) error { return runFig6(o, w, "r10k", []int{1, 2, 4, 8}, false) },
+		},
+		{
+			ID:    "fig6b",
+			Title: "Figure 6b: driver/executor time split and partial clusters, r1m",
+			Paper: "executor time 7532->1745 s from 64 to 512 cores; driver time grows with partial clusters",
+			Run:   func(o Options, w io.Writer) error { return runFig6(o, w, "r1m", []int{64, 128, 256, 512}, true) },
+		},
+		{
+			ID:    "fig6c",
+			Title: "Figure 6c: driver/executor time split and partial clusters, c100k",
+			Paper: "partial clusters 720->9279 from 4 to 32 cores; driver time grows",
+			Run:   func(o Options, w io.Writer) error { return runFig6(o, w, "c100k", []int{4, 8, 16, 32}, false) },
+		},
+		{
+			ID:    "fig6d",
+			Title: "Figure 6d: driver/executor time split and partial clusters, r100k",
+			Paper: "partial clusters 607->9260 from 4 to 32 cores; driver time grows",
+			Run:   func(o Options, w io.Writer) error { return runFig6(o, w, "r100k", []int{4, 8, 16, 32}, false) },
+		},
+		{
+			ID:    "fig7",
+			Title: "Figure 7: MapReduce vs Spark wall time, 10k points",
+			Paper: "MR 1666/1248/832/521 s vs Spark 178/93/50/31 s at 1/2/4/8 cores (9-16x)",
+			Run:   runFig7,
+		},
+		{
+			ID:    "fig8ab",
+			Title: "Figure 8a/b: speedup on 10k points (c10k, r10k), executor-only and total",
+			Paper: "executor speedup ~1.9/3.6/6.2 at 2/4/8 cores; total curves flatter",
+			Run: func(o Options, w io.Writer) error {
+				return runFig8(o, w, []string{"c10k", "r10k"}, []int{1, 2, 4, 8}, false)
+			},
+		},
+		{
+			ID:    "fig8cd",
+			Title: "Figure 8c/d: speedup on 100k points (c100k, r100k), executor-only and total",
+			Paper: "executor speedup ~3.3/6.0/8.8/10.2 at 4/8/16/32 cores; total drops to ~5.6 at 32 (9279 partials)",
+			Run: func(o Options, w io.Writer) error {
+				return runFig8(o, w, []string{"c100k", "r100k"}, []int{4, 8, 16, 32}, false)
+			},
+		},
+		{
+			ID:    "fig8ef",
+			Title: "Figure 8e/f: speedup on r1m, executor-only and total",
+			Paper: "executor speedup ~58/83/110/137 at 64/128/256/512 cores; total similar (pruning + small-partial filter)",
+			Run: func(o Options, w io.Writer) error {
+				return runFig8(o, w, []string{"r1m"}, []int{64, 128, 256, 512}, true)
+			},
+		},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}
+
+// Generation and runs are memoized within the process: fig6b and
+// fig8ef sweep the same r1m core counts, and a full-scale r1m run costs
+// minutes of wall time, so sharing results across experiments matters.
+var cache = struct {
+	sync.Mutex
+	datasets map[string]*geom.Dataset
+	specs    map[string]quest.Spec
+	runs     map[string]*core.Result
+}{
+	datasets: make(map[string]*geom.Dataset),
+	specs:    make(map[string]quest.Spec),
+	runs:     make(map[string]*core.Result),
+}
+
+// dataset generates a Table I dataset at the option scale (memoized).
+func dataset(opts Options, name string) (*geom.Dataset, quest.Spec, error) {
+	key := fmt.Sprintf("%s@%g", name, opts.Scale)
+	cache.Lock()
+	ds, ok := cache.datasets[key]
+	spec := cache.specs[key]
+	cache.Unlock()
+	if ok {
+		return ds, spec, nil
+	}
+	spec, err := quest.ByName(name)
+	if err != nil {
+		return nil, spec, err
+	}
+	if opts.Scale < 1.0 {
+		spec = spec.Scaled(int(float64(spec.N) * opts.Scale))
+	}
+	ds, err = quest.Generate(spec)
+	if err != nil {
+		return nil, spec, err
+	}
+	cache.Lock()
+	cache.datasets[key] = ds
+	cache.specs[key] = spec
+	cache.Unlock()
+	return ds, spec, nil
+}
+
+var tableParams = dbscan.Params{Eps: quest.TableIEps, MinPts: quest.TableIMinPts}
+
+// sparkRun executes one parallel DBSCAN with cores = partitions = p,
+// using the paper's settings for the dataset (pruning + small-partial
+// filter for the million-point family). Runs are memoized on
+// (dataset, scale, cores, bigData): the caller must not mutate results.
+func sparkRun(opts Options, ds *geom.Dataset, p int, bigData bool) (*core.Result, error) {
+	key := fmt.Sprintf("%s/%d@%g/p%d/big=%v/seed%d", ds.Name, ds.Len(), opts.Scale, p, bigData, opts.Seed)
+	cache.Lock()
+	if res, ok := cache.runs[key]; ok {
+		cache.Unlock()
+		return res, nil
+	}
+	cache.Unlock()
+	sctx := spark.NewContext(spark.Config{
+		Cores: p,
+		Model: opts.Model,
+		Seed:  opts.Seed,
+	})
+	// The paper's own settings: one seed per foreign partition and the
+	// Algorithm 4 single-pass merge. The driver-time curves of Figure 6
+	// are dominated by the accumulator-reception cost per partial
+	// cluster (see core.Merge).
+	cfg := core.Config{
+		Params:     tableParams,
+		Partitions: p,
+		SeedMode:   core.SeedSingle,
+		Merge:      core.MergeOptions{Algo: core.MergePaper},
+	}
+	if bigData {
+		// §V-E: "for large data sets (>= 1 million data points), we use
+		// kd-tree with pruning branches" — r1m's clusters are dense
+		// enough (~2700 in-eps neighbours) that capping the search at
+		// 2048 cuts query work without disconnecting the partition-
+		// local expansion graphs — "and we filter out those partial
+		// clusters whose size is too small" (executor-side, so the
+		// driver never pays reception for them).
+		cfg.MaxNeighbors = 2048
+		cfg.MinLocalClusterSize = tableParams.MinPts
+	}
+	res, err := core.Run(sctx, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	cache.Lock()
+	cache.runs[key] = res
+	cache.Unlock()
+	return res, nil
+}
+
+func newTabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+// runTable1 regenerates Table I, confirming each dataset's properties
+// by generating it.
+func runTable1(opts Options, w io.Writer) error {
+	opts = opts.withDefaults()
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Name\tPoints\td\teps\tminpts\tplanted clusters\tplanted noise")
+	for _, name := range []string{"c10k", "c100k", "r10k", "r100k", "r1m"} {
+		ds, spec, err := dataset(opts, name)
+		if err != nil {
+			return err
+		}
+		noise := 0
+		for _, l := range ds.Label {
+			if l == quest.NoiseLabel {
+				noise++
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%g\t%d\t%d\t%d\n",
+			spec.Name, ds.Len(), ds.Dim, tableParams.Eps, tableParams.MinPts,
+			spec.NumClusters, noise)
+	}
+	return tw.Flush()
+}
+
+// runFig5 measures kd-tree construction time as a fraction of the
+// whole DBSCAN run at 8 partitions.
+func runFig5(opts Options, w io.Writer) error {
+	opts = opts.withDefaults()
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Dataset\ttree build (s)\twhole run (s)\tper mille")
+	for _, name := range []string{"r10k", "c10k", "c100k", "r100k", "r1m"} {
+		ds, _, err := dataset(opts, name)
+		if err != nil {
+			return err
+		}
+		res, err := sparkRun(opts, ds, 8, name == "r1m")
+		if err != nil {
+			return err
+		}
+		total := res.Phases.Total()
+		perMille := res.Phases.TreeBuild / total * 1000
+		fmt.Fprintf(tw, "%s\t%.3f\t%.1f\t%.2f\n", name, res.Phases.TreeBuild, total, perMille)
+	}
+	return tw.Flush()
+}
+
+// runFig6 prints the driver/executor time split and the partial-cluster
+// count across a core sweep for one dataset.
+func runFig6(opts Options, w io.Writer, name string, cores []int, bigData bool) error {
+	opts = opts.withDefaults()
+	ds, _, err := dataset(opts, name)
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "Dataset %s (n=%d)\n", name, ds.Len())
+	fmt.Fprintln(tw, "Cores\tPartial clusters\tDriver (s)\tExecutors (s)\tClusters\tNoise")
+	for _, p := range cores {
+		res, err := sparkRun(opts, ds, p, bigData)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.2f\t%.2f\t%d\t%d\n",
+			p, res.Global.NumPartialClusters, res.Phases.Driver(), res.Phases.Executors,
+			res.Global.NumClusters, res.Global.NumNoise)
+	}
+	return tw.Flush()
+}
+
+// Fig7Row is one core count's comparison, exported for tests.
+type Fig7Row struct {
+	Cores        int
+	SparkSeconds float64
+	MRSeconds    float64
+	MRRounds     int
+}
+
+// Fig7Series computes the Figure 7 comparison without rendering.
+func Fig7Series(opts Options, cores []int) ([]Fig7Row, error) {
+	opts = opts.withDefaults()
+	ds, _, err := dataset(opts, "c10k")
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig7Row, 0, len(cores))
+	for _, p := range cores {
+		sres, err := sparkRun(opts, ds, p, false)
+		if err != nil {
+			return nil, err
+		}
+		mres, err := mrRun(opts, ds, p)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig7Row{
+			Cores:        p,
+			SparkSeconds: sres.Phases.Total(),
+			MRSeconds:    mres.TotalSeconds,
+			MRRounds:     mres.Rounds,
+		})
+	}
+	return rows, nil
+}
+
+func runFig7(opts Options, w io.Writer) error {
+	rows, err := Fig7Series(opts, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Cores\tMapReduce (s)\tSpark (s)\tMR/Spark\tMR rounds")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1fx\t%d\n",
+			r.Cores, r.MRSeconds, r.SparkSeconds, r.MRSeconds/r.SparkSeconds, r.MRRounds)
+	}
+	return tw.Flush()
+}
+
+// Fig8Row is one speedup measurement, exported for tests.
+type Fig8Row struct {
+	Dataset         string
+	Cores           int
+	ExecSpeedup     float64
+	TotalSpeedup    float64
+	PartialClusters int
+}
+
+// Fig8Series computes speedups against the 1-core/1-partition baseline.
+func Fig8Series(opts Options, names []string, cores []int, bigData bool) ([]Fig8Row, error) {
+	opts = opts.withDefaults()
+	var rows []Fig8Row
+	for _, name := range names {
+		ds, _, err := dataset(opts, name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := sparkRun(opts, ds, 1, bigData)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range cores {
+			res := base
+			if p != 1 {
+				res, err = sparkRun(opts, ds, p, bigData)
+				if err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, Fig8Row{
+				Dataset:         name,
+				Cores:           p,
+				ExecSpeedup:     base.Phases.Executors / res.Phases.Executors,
+				TotalSpeedup:    base.Phases.Total() / res.Phases.Total(),
+				PartialClusters: res.Global.NumPartialClusters,
+			})
+		}
+	}
+	return rows, nil
+}
+
+func runFig8(opts Options, w io.Writer, names []string, cores []int, bigData bool) error {
+	rows, err := Fig8Series(opts, names, cores, bigData)
+	if err != nil {
+		return err
+	}
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Dataset\tCores\tExec speedup\tTotal speedup\tPartial clusters")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\t%d\n",
+			r.Dataset, r.Cores, r.ExecSpeedup, r.TotalSpeedup, r.PartialClusters)
+	}
+	return tw.Flush()
+}

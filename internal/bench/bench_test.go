@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Small scales keep these shape tests fast; the assertions are about
+// monotonicity and ratios, which the scaled datasets preserve.
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig7", "fig8ab", "fig8cd", "fig8ef"} {
+		if !ids[want] {
+			t.Fatalf("experiment %s missing", want)
+		}
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTable1(Options{Scale: 0.02}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{"c10k", "c100k", "r10k", "r100k", "r1m"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("table1 missing %s:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "eps") || !strings.Contains(out, "25") {
+		t.Fatalf("table1 missing parameters:\n%s", out)
+	}
+}
+
+func TestFig7ShapeSparkWins(t *testing.T) {
+	rows, err := Fig7Series(Options{Scale: 0.1}, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's headline: Spark beats MapReduce by ~9-16x. At
+		// reduced scale the ratio floor is looser, but Spark must win
+		// by a wide margin and MR must take multiple rounds.
+		ratio := r.MRSeconds / r.SparkSeconds
+		if ratio < 3 {
+			t.Fatalf("cores=%d: MR/Spark ratio %.1f too small", r.Cores, ratio)
+		}
+		if r.MRRounds < 2 {
+			t.Fatalf("cores=%d: MR converged in %d rounds", r.Cores, r.MRRounds)
+		}
+	}
+	// Both systems get faster with cores.
+	if rows[1].SparkSeconds >= rows[0].SparkSeconds {
+		t.Fatal("Spark did not speed up with cores")
+	}
+	if rows[1].MRSeconds >= rows[0].MRSeconds {
+		t.Fatal("MapReduce did not speed up with cores")
+	}
+}
+
+func TestFig8ShapeSpeedupGrows(t *testing.T) {
+	rows, err := Fig8Series(Options{Scale: 0.2}, []string{"c10k"}, []int{1, 2, 4, 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	prev := 0.0
+	for _, r := range rows {
+		if r.ExecSpeedup <= prev {
+			t.Fatalf("executor speedup not increasing: %+v", rows)
+		}
+		if r.ExecSpeedup > float64(r.Cores)*1.05 {
+			t.Fatalf("superlinear speedup %.2f at %d cores", r.ExecSpeedup, r.Cores)
+		}
+		if r.TotalSpeedup > r.ExecSpeedup*1.05 {
+			t.Fatalf("total speedup above executor speedup: %+v", r)
+		}
+		prev = r.ExecSpeedup
+	}
+	if rows[0].ExecSpeedup != 1 {
+		t.Fatalf("baseline speedup %.2f != 1", rows[0].ExecSpeedup)
+	}
+}
+
+func TestFig8PartialClustersGrow(t *testing.T) {
+	rows, err := Fig8Series(Options{Scale: 0.3}, []string{"r10k"}, []int{1, 4, 8}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rows[0].PartialClusters < rows[1].PartialClusters &&
+		rows[1].PartialClusters < rows[2].PartialClusters) {
+		t.Fatalf("partial clusters not growing: %+v", rows)
+	}
+}
+
+func TestFig6Renders(t *testing.T) {
+	e, err := ByID("fig6a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Options{Scale: 0.1}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Partial clusters") || !strings.Contains(out, "Driver") {
+		t.Fatalf("fig6a output malformed:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 6 { // header+4 rows
+		t.Fatalf("fig6a too few rows:\n%s", out)
+	}
+}
+
+func TestFig5Renders(t *testing.T) {
+	e, err := ByID("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(Options{Scale: 0.02}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "per mille") {
+		t.Fatalf("fig5 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunsAreMemoized(t *testing.T) {
+	opts := Options{Scale: 0.05}.withDefaults()
+	ds, _, err := dataset(opts, "c10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sparkRun(opts, ds, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sparkRun(opts, ds, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical runs not memoized")
+	}
+	c, err := sparkRun(opts, ds, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different core counts shared a cache entry")
+	}
+}
+
+func TestDatasetMemoized(t *testing.T) {
+	opts := Options{Scale: 0.02}.withDefaults()
+	a, _, err := dataset(opts, "r10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := dataset(opts, "r10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("dataset not memoized")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1.0 || o.Model == nil || o.Seed == 0 {
+		t.Fatalf("bad defaults: %+v", o)
+	}
+}

@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/mapreduce"
+	"sparkdbscan/internal/mrdbscan"
+)
+
+// mrRun executes the MapReduce DBSCAN baseline at p cores.
+func mrRun(opts Options, ds *geom.Dataset, p int) (*mrdbscan.Result, error) {
+	return mrdbscan.Run(ds, mrdbscan.Config{
+		Params: tableParams,
+		Splits: p,
+		MR: mapreduce.Config{
+			Cores: p,
+			Model: opts.Model,
+			Seed:  opts.Seed,
+		},
+	})
+}

@@ -1,0 +1,278 @@
+// Package cli implements the command-line tools (datagen, dbscan,
+// benchrunner) as testable functions; the cmd/ mains are thin wrappers.
+// Each Run* function parses its own flag set, writes human-readable
+// output to stdout, and returns an error instead of exiting.
+package cli
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"sparkdbscan/internal/bench"
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/quest"
+	"sparkdbscan/internal/spark"
+
+	coredbscan "sparkdbscan/internal/core"
+)
+
+var datasetNames = []string{"c10k", "c100k", "r10k", "r100k", "r1m"}
+
+// RunDatagen implements cmd/datagen.
+func RunDatagen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		name   = fs.String("dataset", "all", "dataset name (c10k, c100k, r10k, r100k, r1m) or 'all'")
+		outDir = fs.String("out", ".", "output directory")
+		format = fs.String("format", "txt", "output format: txt or bin")
+		scale  = fs.Float64("scale", 1.0, "shrink datasets to this fraction of their Table I size")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "txt" && *format != "bin" {
+		return fmt.Errorf("datagen: unknown format %q (want txt or bin)", *format)
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("datagen: scale must be in (0, 1], got %g", *scale)
+	}
+	names := datasetNames
+	if *name != "all" {
+		names = []string{*name}
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return fmt.Errorf("datagen: %w", err)
+	}
+	for _, n := range names {
+		spec, err := quest.ByName(n)
+		if err != nil {
+			return err
+		}
+		if *scale < 1 {
+			spec = spec.Scaled(int(float64(spec.N) * *scale))
+		}
+		ds, err := quest.Generate(spec)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*outDir, fmt.Sprintf("%s.%s", n, *format))
+		if err := saveDataset(ds, path); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: %d points, %d dims -> %s (cluster with -eps %g -minpts %d)\n",
+			n, ds.Len(), ds.Dim, path, quest.TableIEps, quest.TableIMinPts)
+	}
+	return nil
+}
+
+// RunDBSCAN implements cmd/dbscan.
+func RunDBSCAN(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("dbscan", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		in      = fs.String("in", "", "input file (.txt or .bin); required")
+		out     = fs.String("out", "", "label output file (default: summary only)")
+		eps     = fs.Float64("eps", 25, "neighbourhood radius")
+		minPts  = fs.Int("minpts", 5, "density threshold")
+		cores   = fs.Int("cores", 0, "virtual cores for distributed run; 0 = sequential")
+		parts   = fs.Int("partitions", 0, "partitions (default = cores)")
+		paper   = fs.Bool("paper", false, "use the paper's exact SEED/merge variants")
+		prune   = fs.Int("prune", 0, "cap neighbour lists at this size (0 = exact search)")
+		real    = fs.Bool("realtime", false, "wall-clock timing instead of the virtual cluster")
+		spatial = fs.Bool("spatial", false, "Z-order (neighbourhood-aware) partitioning")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("dbscan: -in is required")
+	}
+	ds, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+
+	var labels []int32
+	numClusters, numNoise, partials := 0, 0, 0
+	var timing coredbscan.Phases
+	params := dbscan.Params{Eps: *eps, MinPts: *minPts}
+	if *cores <= 0 {
+		res, err := dbscan.Run(ds, kdtree.Build(ds), params)
+		if err != nil {
+			return err
+		}
+		labels, numClusters, numNoise = res.Labels, res.NumClusters, res.NumNoise
+	} else {
+		mode := spark.Virtual
+		if *real {
+			mode = spark.Real
+		}
+		sctx := spark.NewContext(spark.Config{Cores: *cores, Mode: mode})
+		seedMode := coredbscan.SeedAll
+		mergeAlgo := coredbscan.MergeUnionFind
+		if *paper {
+			seedMode = coredbscan.SeedSingle
+			mergeAlgo = coredbscan.MergePaper
+		}
+		res, err := coredbscan.Run(sctx, ds, coredbscan.Config{
+			Params:              params,
+			Partitions:          *parts,
+			SeedMode:            seedMode,
+			Merge:               coredbscan.MergeOptions{Algo: mergeAlgo},
+			MaxNeighbors:        *prune,
+			SpatialPartitioning: *spatial,
+		})
+		if err != nil {
+			return err
+		}
+		labels = res.Global.Labels
+		numClusters, numNoise = res.Global.NumClusters, res.Global.NumNoise
+		partials = res.Global.NumPartialClusters
+		timing = res.Phases
+	}
+
+	fmt.Fprintf(stdout, "points:   %d (dim %d)\n", ds.Len(), ds.Dim)
+	fmt.Fprintf(stdout, "clusters: %d\n", numClusters)
+	fmt.Fprintf(stdout, "noise:    %d\n", numNoise)
+	if *cores > 0 {
+		fmt.Fprintf(stdout, "partial clusters: %d\n", partials)
+		fmt.Fprintf(stdout, "time: driver %.2fs + executors %.2fs = %.2fs\n",
+			timing.Driver(), timing.Executors, timing.Total())
+	}
+	printClusterSizes(stdout, labels, numClusters)
+
+	if *out != "" {
+		if err := writeLabels(labels, *out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "labels written to %s\n", *out)
+	}
+	return nil
+}
+
+// RunBench implements cmd/benchrunner.
+func RunBench(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		exp   = fs.String("exp", "all", "experiment id, comma-separated list, or 'all'")
+		scale = fs.Float64("scale", 1.0, "dataset scale factor in (0, 1]")
+		list  = fs.Bool("list", false, "list experiments and exit")
+		seed  = fs.Uint64("seed", 0, "straggler seed (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Fprintf(stdout, "%-8s %s\n         paper: %s\n", e.ID, e.Title, e.Paper)
+		}
+		return nil
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("benchrunner: scale must be in (0, 1], got %g", *scale)
+	}
+	var experiments []bench.Experiment
+	if *exp == "all" {
+		experiments = bench.All()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, err := bench.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			experiments = append(experiments, e)
+		}
+	}
+	opts := bench.Options{Scale: *scale, Seed: *seed}
+	for _, e := range experiments {
+		fmt.Fprintf(stdout, "=== %s: %s\n", e.ID, e.Title)
+		fmt.Fprintf(stdout, "    paper: %s\n\n", e.Paper)
+		start := time.Now()
+		if err := e.Run(opts, stdout); err != nil {
+			return fmt.Errorf("benchrunner: %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(stdout, "\n    (generated in %s at scale %g)\n\n",
+			time.Since(start).Round(time.Millisecond), *scale)
+	}
+	return nil
+}
+
+// ---- helpers ----
+
+func loadDataset(path string) (*geom.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return geom.ReadBinary(f)
+	}
+	return geom.ReadText(f)
+}
+
+func saveDataset(ds *geom.Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".bin") {
+		werr = geom.WriteBinary(f, ds)
+	} else {
+		werr = geom.WriteText(f, ds)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func writeLabels(labels []int32, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	for _, l := range labels {
+		if _, err := w.WriteString(strconv.Itoa(int(l)) + "\n"); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printClusterSizes(stdout io.Writer, labels []int32, numClusters int) {
+	sizes := make([]int, numClusters)
+	for _, l := range labels {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	shown := len(sizes)
+	if shown > 10 {
+		shown = 10
+	}
+	for id := 0; id < shown; id++ {
+		fmt.Fprintf(stdout, "  cluster %d: %d points\n", id, sizes[id])
+	}
+	if len(sizes) > shown {
+		fmt.Fprintf(stdout, "  ... and %d more clusters\n", len(sizes)-shown)
+	}
+}

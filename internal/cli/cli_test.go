@@ -1,0 +1,165 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDatagenSingleDataset(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := RunDatagen([]string{"-dataset", "r10k", "-scale", "0.05", "-out", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "r10k.txt")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("output file missing: %v", err)
+	}
+	if !strings.Contains(out.String(), "500 points") {
+		t.Fatalf("unexpected summary: %s", out.String())
+	}
+}
+
+func TestDatagenAllBinary(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := RunDatagen([]string{"-dataset", "all", "-scale", "0.001", "-format", "bin", "-out", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"c10k", "c100k", "r10k", "r100k", "r1m"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".bin")); err != nil {
+			t.Fatalf("%s.bin missing", name)
+		}
+	}
+}
+
+func TestDatagenErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunDatagen([]string{"-format", "xml"}, &out); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if err := RunDatagen([]string{"-scale", "2"}, &out); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := RunDatagen([]string{"-dataset", "nope", "-out", t.TempDir()}, &out); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestDBSCANSequentialAndDistributed(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := RunDatagen([]string{"-dataset", "c10k", "-scale", "0.2", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "c10k.txt")
+
+	// Sequential.
+	out.Reset()
+	if err := RunDBSCAN([]string{"-in", in, "-eps", "25", "-minpts", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	seq := out.String()
+	if !strings.Contains(seq, "clusters: 2") {
+		t.Fatalf("sequential output:\n%s", seq)
+	}
+
+	// Distributed, with labels written.
+	labelFile := filepath.Join(dir, "labels.txt")
+	out.Reset()
+	err := RunDBSCAN([]string{"-in", in, "-eps", "25", "-minpts", "5",
+		"-cores", "4", "-out", labelFile}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := out.String()
+	if !strings.Contains(dist, "partial clusters:") || !strings.Contains(dist, "executors") {
+		t.Fatalf("distributed output:\n%s", dist)
+	}
+	raw, err := os.ReadFile(labelFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2000 {
+		t.Fatalf("%d labels, want 2000", len(lines))
+	}
+
+	// Paper-fidelity and spatial variants run too.
+	out.Reset()
+	if err := RunDBSCAN([]string{"-in", in, "-eps", "25", "-minpts", "5",
+		"-cores", "4", "-paper"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := RunDBSCAN([]string{"-in", in, "-eps", "25", "-minpts", "5",
+		"-cores", "4", "-spatial"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBSCANErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunDBSCAN([]string{}, &out); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := RunDBSCAN([]string{"-in", "/nonexistent/file.txt"}, &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBenchList(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunBench([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"table1", "fig5", "fig6a", "fig7", "fig8ef"} {
+		if !strings.Contains(out.String(), id) {
+			t.Fatalf("list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestBenchRunsExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunBench([]string{"-exp", "table1", "-scale", "0.01"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "r100k") {
+		t.Fatalf("table1 output:\n%s", out.String())
+	}
+}
+
+func TestBenchAllAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; skipped in -short mode")
+	}
+	var out bytes.Buffer
+	if err := RunBench([]string{"-exp", "all", "-scale", "0.01"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, id := range []string{"table1", "fig5", "fig6a", "fig6b", "fig6c", "fig6d", "fig7", "fig8ab", "fig8cd", "fig8ef"} {
+		if !strings.Contains(s, "=== "+id) {
+			t.Fatalf("experiment %s missing from -exp all output", id)
+		}
+	}
+}
+
+func TestBenchCommaSeparatedAndErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := RunBench([]string{"-exp", "table1, fig6a", "-scale", "0.02"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunBench([]string{"-exp", "figX"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := RunBench([]string{"-scale", "0"}, &out); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}

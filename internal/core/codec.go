@@ -1,0 +1,72 @@
+package core
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec for PartialCluster: the wire format the accumulator
+// would ship executor→driver in a real deployment. Layout
+// (little-endian): partition int32, seq int32, then three
+// length-prefixed int32 arrays (members, seeds, borders).
+//
+// SizeBytes' estimate is tied to this format by the codec tests.
+
+var (
+	_ encoding.BinaryMarshaler   = (*PartialCluster)(nil)
+	_ encoding.BinaryUnmarshaler = (*PartialCluster)(nil)
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (pc *PartialCluster) MarshalBinary() ([]byte, error) {
+	size := 8 + 12 + 4*(len(pc.Members)+len(pc.Seeds)+len(pc.Borders))
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(pc.Partition))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(pc.Seq))
+	for _, arr := range [][]int32{pc.Members, pc.Seeds, pc.Borders} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(arr)))
+		for _, v := range arr {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (pc *PartialCluster) UnmarshalBinary(data []byte) error {
+	if len(data) < 20 {
+		return fmt.Errorf("core: partial cluster payload too short (%d bytes)", len(data))
+	}
+	pos := 0
+	next := func() uint32 {
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v
+	}
+	pc.Partition = int32(next())
+	pc.Seq = int32(next())
+	arrays := []*[]int32{&pc.Members, &pc.Seeds, &pc.Borders}
+	for _, dst := range arrays {
+		if pos+4 > len(data) {
+			return fmt.Errorf("core: truncated partial cluster at byte %d", pos)
+		}
+		n := int(next())
+		if n < 0 || pos+4*n > len(data) {
+			return fmt.Errorf("core: array length %d exceeds payload", n)
+		}
+		if n == 0 {
+			*dst = nil
+			continue
+		}
+		arr := make([]int32, n)
+		for i := range arr {
+			arr[i] = int32(next())
+		}
+		*dst = arr
+	}
+	if pos != len(data) {
+		return fmt.Errorf("core: %d trailing bytes in partial cluster payload", len(data)-pos)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := []PartialCluster{
+		{},
+		{Partition: 3, Seq: 7, Members: []int32{1, 2, 3}},
+		{Partition: 0, Seq: 0, Members: []int32{0}, Seeds: []int32{100, 200}, Borders: []int32{5}},
+		{Partition: 511, Seq: 1 << 20, Seeds: []int32{1 << 30}},
+	}
+	for i, pc := range cases {
+		raw, err := pc.MarshalBinary()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		var got PartialCluster
+		if err := got.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Partition != pc.Partition || got.Seq != pc.Seq {
+			t.Fatalf("case %d: header mismatch %+v", i, got)
+		}
+		assertSameInts(t, pc.Members, got.Members)
+		assertSameInts(t, pc.Seeds, got.Seeds)
+		assertSameInts(t, pc.Borders, got.Borders)
+	}
+}
+
+func assertSameInts(t *testing.T, want, got []int32) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("length %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("element %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	check := func(part, seq int32, members, seeds, borders []int32) bool {
+		pc := PartialCluster{Partition: part, Seq: seq,
+			Members: members, Seeds: seeds, Borders: borders}
+		raw, err := pc.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got PartialCluster
+		if err := got.UnmarshalBinary(raw); err != nil {
+			return false
+		}
+		if got.Partition != part || got.Seq != seq ||
+			len(got.Members) != len(members) || len(got.Seeds) != len(seeds) ||
+			len(got.Borders) != len(borders) {
+			return false
+		}
+		for i := range members {
+			if got.Members[i] != members[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecSizeMatchesEstimate(t *testing.T) {
+	pc := PartialCluster{
+		Partition: 1, Seq: 2,
+		Members: make([]int32, 100), Seeds: make([]int32, 10), Borders: make([]int32, 3),
+	}
+	raw, err := pc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := pc.SizeBytes()
+	actual := int64(len(raw))
+	// The accounting estimate must track the real wire size within a
+	// small constant factor.
+	if est < actual/2 || est > actual*2 {
+		t.Fatalf("SizeBytes %d vs marshaled %d", est, actual)
+	}
+}
+
+func TestCodecRejectsCorruptPayloads(t *testing.T) {
+	pc := PartialCluster{Partition: 1, Seq: 2, Members: []int32{1, 2, 3}}
+	raw, err := pc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PartialCluster
+	if err := got.UnmarshalBinary(raw[:5]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if err := got.UnmarshalBinary(raw[:len(raw)-2]); err == nil {
+		t.Fatal("truncated array accepted")
+	}
+	if err := got.UnmarshalBinary(append(raw, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	// A length field pointing past the payload.
+	bad := append([]byte(nil), raw...)
+	bad[8] = 0xff
+	bad[9] = 0xff
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("oversized length accepted")
+	}
+}

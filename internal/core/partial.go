@@ -1,0 +1,77 @@
+package core
+
+import "fmt"
+
+// SeedMode controls how foreign points encountered during local
+// expansion are recorded (Algorithm 3's "placing SEEDs").
+type SeedMode int
+
+const (
+	// SeedSingle is the paper's rule: at most one SEED per foreign
+	// partition per partial cluster (the place_flg logic of Algorithm
+	// 3). Cheapest, but it can drop merge edges and lose unclaimed
+	// border points — see DESIGN.md §3.
+	SeedSingle SeedMode = iota
+	// SeedAll records every distinct foreign point reached by the
+	// expansion as a SEED. Merging through union-find is then complete
+	// for core connectivity, and unclaimed foreign borders stay in the
+	// cluster.
+	SeedAll
+	// SeedCore records every distinct foreign *core* point as a SEED
+	// (one extra neighbourhood count query per candidate, metered) and
+	// keeps foreign non-core points as passive Borders that never
+	// trigger a merge. This makes parallel core co-clustering exactly
+	// equal to sequential DBSCAN.
+	SeedCore
+)
+
+func (m SeedMode) String() string {
+	switch m {
+	case SeedSingle:
+		return "single"
+	case SeedAll:
+		return "all"
+	case SeedCore:
+		return "core"
+	default:
+		return fmt.Sprintf("SeedMode(%d)", int(m))
+	}
+}
+
+// PartialCluster is what one executor builds for one locally connected
+// group of points (the paper's C[i] boxes in Figure 4).
+type PartialCluster struct {
+	// Partition is the owning partition (par_A in Algorithm 3).
+	Partition int32
+	// Seq numbers the cluster within its partition.
+	Seq int32
+	// Members are the owned points of the cluster ("regular
+	// elements"): every index lies inside the partition's range.
+	Members []int32
+	// Seeds are foreign points recorded as merge markers. Per the
+	// paper they are also elements of the final merged cluster
+	// (Figure 4b keeps 3000 in the merged C[0]).
+	Seeds []int32
+	// Borders are foreign non-core points recorded under SeedCore
+	// mode: cluster elements that must not drive a merge.
+	Borders []int32
+}
+
+// ID returns a globally unique cluster id.
+func (pc *PartialCluster) ID() int64 { return int64(pc.Partition)<<32 | int64(uint32(pc.Seq)) }
+
+// Size returns the number of elements (members + seeds + borders).
+func (pc *PartialCluster) Size() int { return len(pc.Members) + len(pc.Seeds) + len(pc.Borders) }
+
+// SizeBytes estimates the serialized size of the cluster for the
+// accumulator's executor→driver transfer: 4 bytes per index plus a
+// small header.
+func (pc *PartialCluster) SizeBytes() int64 {
+	return int64(pc.Size())*4 + 24
+}
+
+// String renders a compact description for logs and tests.
+func (pc *PartialCluster) String() string {
+	return fmt.Sprintf("PC{part=%d seq=%d members=%d seeds=%d borders=%d}",
+		pc.Partition, pc.Seq, len(pc.Members), len(pc.Seeds), len(pc.Borders))
+}

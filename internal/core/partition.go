@@ -1,0 +1,80 @@
+// Package core implements the paper's contribution: the
+// no-communication parallel DBSCAN. Points are partitioned by index
+// range; each executor clusters only the points it owns against a
+// broadcast kd-tree over the full dataset, recording SEEDs where an
+// expansion crosses a partition boundary (Algorithms 2 and 3); the
+// driver collects the partial clusters through an accumulator and
+// merges them by resolving each SEED to the partial cluster that owns
+// it as a regular member (Algorithm 4).
+package core
+
+import "fmt"
+
+// Partitioner owns the contiguous index-range partitioning of n points
+// into p parts — the paper's assignment of points to executors. Part i
+// owns a contiguous range; the first n%p parts own one extra point.
+type Partitioner struct {
+	n     int
+	parts int
+	base  int
+	extra int
+}
+
+// NewPartitioner builds a partitioner for n points in parts ranges.
+func NewPartitioner(n, parts int) (Partitioner, error) {
+	if n < 0 {
+		return Partitioner{}, fmt.Errorf("core: negative point count %d", n)
+	}
+	if parts < 1 {
+		return Partitioner{}, fmt.Errorf("core: need >= 1 partition, got %d", parts)
+	}
+	return Partitioner{n: n, parts: parts, base: n / parts, extra: n % parts}, nil
+}
+
+// N returns the total number of points.
+func (p Partitioner) N() int { return p.n }
+
+// Parts returns the number of partitions.
+func (p Partitioner) Parts() int { return p.parts }
+
+// Range returns the half-open index range [lo, hi) owned by partition
+// split.
+func (p Partitioner) Range(split int) (lo, hi int32) {
+	l := split*p.base + min(split, p.extra)
+	h := l + p.base
+	if split < p.extra {
+		h++
+	}
+	return int32(l), int32(h)
+}
+
+// Owner returns the partition that owns point idx. This is the test
+// the executor applies to every dequeued point: "if the current point's
+// index is beyond the range of the current partition it is taken as a
+// SEED".
+func (p Partitioner) Owner(idx int32) int {
+	i := int(idx)
+	wide := p.base + 1 // width of the first `extra` ranges
+	if p.extra > 0 && i < p.extra*wide {
+		return i / wide
+	}
+	if p.base == 0 {
+		// All points live in the first `extra` ranges; anything else is
+		// out of bounds and caught below.
+		if i >= p.n {
+			panic(fmt.Sprintf("core: Owner(%d) out of range [0,%d)", idx, p.n))
+		}
+		return i / wide
+	}
+	if i >= p.n {
+		panic(fmt.Sprintf("core: Owner(%d) out of range [0,%d)", idx, p.n))
+	}
+	return p.extra + (i-p.extra*wide)/p.base
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionerRangesCover(t *testing.T) {
+	for n := 0; n <= 60; n++ {
+		for parts := 1; parts <= 13; parts++ {
+			p, err := NewPartitioner(n, parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := int32(0)
+			for s := 0; s < parts; s++ {
+				lo, hi := p.Range(s)
+				if lo != prev {
+					t.Fatalf("n=%d parts=%d split=%d: gap %d..%d", n, parts, s, prev, lo)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d parts=%d split=%d: inverted range", n, parts, s)
+				}
+				prev = hi
+			}
+			if int(prev) != n {
+				t.Fatalf("n=%d parts=%d: ranges end at %d", n, parts, prev)
+			}
+		}
+	}
+}
+
+func TestOwnerMatchesRange(t *testing.T) {
+	check := func(nRaw uint16, partsRaw uint8) bool {
+		n := int(nRaw%500) + 1
+		parts := int(partsRaw%32) + 1
+		p, err := NewPartitioner(n, parts)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < parts; s++ {
+			lo, hi := p.Range(s)
+			for i := lo; i < hi; i++ {
+				if p.Owner(i) != s {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionerBalance(t *testing.T) {
+	p, _ := NewPartitioner(10, 3)
+	sizes := []int32{}
+	for s := 0; s < 3; s++ {
+		lo, hi := p.Range(s)
+		sizes = append(sizes, hi-lo)
+	}
+	// 10 = 4+3+3.
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+}
+
+func TestPartitionerErrors(t *testing.T) {
+	if _, err := NewPartitioner(-1, 2); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := NewPartitioner(5, 0); err == nil {
+		t.Fatal("zero parts accepted")
+	}
+}
+
+func TestOwnerOutOfRangePanics(t *testing.T) {
+	p, _ := NewPartitioner(10, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Owner(10) did not panic")
+		}
+	}()
+	p.Owner(10)
+}
+
+func TestMorePartitionsThanPoints(t *testing.T) {
+	p, _ := NewPartitioner(3, 8)
+	nonEmpty := 0
+	for s := 0; s < 8; s++ {
+		lo, hi := p.Range(s)
+		if hi > lo {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 3 {
+		t.Fatalf("%d non-empty partitions, want 3", nonEmpty)
+	}
+	for i := int32(0); i < 3; i++ {
+		if p.Owner(i) != int(i) {
+			t.Fatalf("Owner(%d) = %d", i, p.Owner(i))
+		}
+	}
+}

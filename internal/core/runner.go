@@ -1,0 +1,243 @@
+package core
+
+import (
+	"fmt"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/spark"
+)
+
+// Config configures one parallel DBSCAN run.
+type Config struct {
+	// Params are eps and minPts.
+	Params dbscan.Params
+	// Partitions is the number of point ranges / executor tasks; the
+	// paper sets partitions = cores. Default: the context's core
+	// count.
+	Partitions int
+	// SeedMode selects the Algorithm 3 variant. Default SeedSingle
+	// (the paper's rule).
+	SeedMode SeedMode
+	// Merge configures the driver-side merge.
+	Merge MergeOptions
+	// MaxNeighbors > 0 enables the pruned range search the paper uses
+	// for the 1m-point datasets.
+	MaxNeighbors int
+	// MinLocalClusterSize > 1 makes executors drop partial clusters
+	// below this size before sending them (the paper's r1m filter).
+	MinLocalClusterSize int
+	// SpatialPartitioning reorders points along a Z-order curve before
+	// partitioning, so executors receive spatially coherent blocks —
+	// the paper's §VI future work. Labels in the result refer to the
+	// original point order regardless.
+	SpatialPartitioning bool
+	// LeafSize overrides the kd-tree bucket size (0 = default).
+	LeafSize int
+}
+
+// Phases is the per-phase time decomposition matching §IV-C:
+// Δ (read+transform), kd-tree construction, executor computation, and
+// driver merge. ReadTransform + TreeBuild + Broadcast + Merge are
+// "time spent in driver"; Executors is "time spent in executors"
+// (Figure 6's two bars).
+type Phases struct {
+	ReadTransform float64
+	TreeBuild     float64
+	Broadcast     float64
+	Executors     float64
+	Merge         float64
+}
+
+// Driver returns the total driver-side time.
+func (p Phases) Driver() float64 {
+	return p.ReadTransform + p.TreeBuild + p.Broadcast + p.Merge
+}
+
+// Total returns driver + executor time.
+func (p Phases) Total() float64 { return p.Driver() + p.Executors }
+
+// Result is the outcome of a parallel run.
+type Result struct {
+	Global *GlobalResult
+	Phases Phases
+	Report spark.Report
+	// Stats aggregates index work across all executors.
+	Stats kdtree.SearchStats
+	// LocalNoise sums per-partition unclaimed points (diagnostics).
+	LocalNoise int
+}
+
+// broadcastPayload is what the driver ships to every executor: the
+// dataset, the kd-tree over it, the parameters and the partition table
+// (§IV-B lists exactly these).
+type broadcastPayload struct {
+	DS   *geom.Dataset
+	Tree *kdtree.Tree
+	Part Partitioner
+	Opts LocalOptions
+}
+
+// Run executes the paper's full pipeline on the given Spark context:
+// driver ingestion → kd-tree build → broadcast → per-partition local
+// clustering with SEEDs → accumulator collection → driver merge.
+func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	n := ds.Len()
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = sctx.Config().Cores
+	}
+	if cfg.Partitions > n && n > 0 {
+		cfg.Partitions = n
+	}
+	part, err := NewPartitioner(n, cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	driverBefore := func() float64 { return sctx.Report().DriverSeconds }
+	execBefore := func() float64 { return sctx.Report().ExecutorSeconds }
+
+	// Phase 1: Δ — read the input from the (simulated) distributed
+	// filesystem and transform it into Point RDD form (Algorithm 2
+	// lines 1–2). The work is the byte volume plus one transform per
+	// point. With SpatialPartitioning the driver additionally sorts
+	// the points along a Z-order curve (an O(n log n) pass, charged as
+	// such) and the rest of the pipeline runs on the reordered data.
+	var order []int32
+	d0 := driverBefore()
+	err = sctx.RunInDriver("read+transform", func(w *simtime.Work) error {
+		w.HDFSBytes += ds.SizeBytes()
+		w.Elems += int64(n)
+		if cfg.SpatialPartitioning {
+			order = SpatialOrder(ds)
+			ds = ReorderDataset(ds, order)
+			w.SortComps += sortCost(n)
+			w.Elems += int64(n)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.ReadTransform = driverBefore() - d0
+
+	// Phase 2: build the kd-tree in the driver.
+	var tree *kdtree.Tree
+	d0 = driverBefore()
+	err = sctx.RunInDriver("kdtree build", func(w *simtime.Work) error {
+		if cfg.LeafSize > 0 {
+			tree = kdtree.BuildLeafSize(ds, cfg.LeafSize)
+		} else {
+			tree = kdtree.Build(ds)
+		}
+		w.TreeBuildOps += tree.BuildOps()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.TreeBuild = driverBefore() - d0
+
+	// Phase 3: broadcast dataset + tree + parameters + partition table.
+	opts := LocalOptions{
+		Params:         cfg.Params,
+		SeedMode:       cfg.SeedMode,
+		MaxNeighbors:   cfg.MaxNeighbors,
+		MinClusterSize: cfg.MinLocalClusterSize,
+	}
+	d0 = driverBefore()
+	bc := spark.NewBroadcast(sctx, broadcastPayload{
+		DS:   ds,
+		Tree: tree,
+		Part: part,
+		Opts: opts,
+	}, ds.SizeBytes()+tree.MemoryBytes()+64)
+	res.Phases.Broadcast = driverBefore() - d0
+
+	// Phase 4: the executor stage (Algorithm 2 lines 4–29). The RDD
+	// carries the point indices; coordinates travel via the broadcast.
+	indices := make([]int32, n)
+	for i := range indices {
+		indices[i] = int32(i)
+	}
+	rdd := spark.Parallelize(sctx, indices, cfg.Partitions)
+	// Each RDD element stands for one Point record of d float64s.
+	pointBytes := int64(ds.Dim*8 + 4)
+	rdd.SetSizeFunc(func(int32) int64 { return pointBytes })
+
+	acc := spark.SliceAccumulator[PartialCluster](sctx)
+	noiseAcc := spark.CounterAccumulator(sctx)
+	statsAcc := spark.NewAccumulator(sctx, kdtree.SearchStats{},
+		func(a, b kdtree.SearchStats) kdtree.SearchStats { a.Add(b); return a })
+
+	e0 := execBefore()
+	err = rdd.ForeachPartition(func(split int, in []int32, tc *spark.TaskContext) error {
+		payload := bc.Value()
+		lo, hi := payload.Part.Range(split)
+		if len(in) != int(hi-lo) {
+			return fmt.Errorf("core: partition %d got %d points, expected %d", split, len(in), hi-lo)
+		}
+		lr, err := LocalDBSCAN(payload.DS, payload.Tree, payload.Part, split, payload.Opts)
+		if err != nil {
+			return err
+		}
+		// Send partial clusters to the driver through the accumulator
+		// (Algorithm 2 lines 26–28); charge the transfer.
+		var w simtime.Work
+		for i := range lr.Clusters {
+			sz := lr.Clusters[i].SizeBytes()
+			w.SerBytes += sz
+			w.NetBytes += sz
+		}
+		w.Add(lr.Work)
+		tc.Charge(w)
+		acc.Add(tc, lr.Clusters)
+		noiseAcc.Add(tc, int64(lr.LocalNoise))
+		statsAcc.Add(tc, lr.Stats)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Executors = execBefore() - e0
+
+	partials := acc.Value()
+	res.LocalNoise = int(noiseAcc.Value())
+	res.Stats = statsAcc.Value()
+
+	// Phase 5: driver merge (Algorithm 4 / union-find).
+	d0 = driverBefore()
+	err = sctx.RunInDriver("merge", func(w *simtime.Work) error {
+		res.Global = Merge(partials, n, cfg.Merge)
+		w.Add(res.Global.Work)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Merge = driverBefore() - d0
+
+	if cfg.SpatialPartitioning {
+		res.Global.Labels = InvertOrder(order, res.Global.Labels)
+	}
+	res.Report = sctx.Report()
+	return res, nil
+}
+
+// sortCost returns the comparison count of an n-element sort.
+func sortCost(n int) int64 {
+	if n < 2 {
+		return int64(n)
+	}
+	logn := 1
+	for v := n; v > 1; v >>= 1 {
+		logn++
+	}
+	return int64(n) * int64(logn)
+}

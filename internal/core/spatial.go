@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sort"
+
+	"sparkdbscan/internal/geom"
+)
+
+// This file implements the paper's stated future work: "We did not
+// partition data points based on the neighborhood relationship in our
+// work and that might cause workload to be unbalanced. So, in the
+// future, we will consider partitioning the input data points before
+// they are assigned to executors." (§VI)
+//
+// SpatialOrder sorts points along a Morton (Z-order) space-filling
+// curve, so that the contiguous index ranges the Partitioner hands to
+// executors become spatially coherent blocks. Spatially coherent
+// partitions keep cluster expansions local: the partial-cluster count
+// stops exploding with the partition count, which shrinks both the
+// executor-side seed placement (the O(m·V) term) and the driver merge
+// (the O(n + Km) term). The ablation bench quantifies it.
+
+// SpatialOrder returns a permutation of ds's point indices in Z-order:
+// out[k] is the index of the k-th point along the curve. Each
+// coordinate is quantized to 63/dim bits over the dataset's bounding
+// box before bit interleaving, which preserves locality at every scale
+// that matters for an eps-range query.
+func SpatialOrder(ds *geom.Dataset) []int32 {
+	n := ds.Len()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	if n == 0 {
+		return order
+	}
+	bounds := ds.Bounds()
+	bits := 63 / ds.Dim
+	if bits < 1 {
+		bits = 1
+	}
+	maxCell := uint64(1)<<bits - 1
+	keys := make([]uint64, n)
+	cells := make([]uint64, ds.Dim)
+	for i := 0; i < n; i++ {
+		p := ds.At(int32(i))
+		for j, v := range p {
+			span := bounds.Max[j] - bounds.Min[j]
+			var cell uint64
+			if span > 0 {
+				f := (v - bounds.Min[j]) / span
+				if f < 0 {
+					f = 0
+				}
+				if f > 1 {
+					f = 1
+				}
+				cell = uint64(f * float64(maxCell))
+				if cell > maxCell {
+					cell = maxCell
+				}
+			}
+			cells[j] = cell
+		}
+		keys[i] = interleave(cells, bits)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ka, kb := keys[order[a]], keys[order[b]]
+		if ka != kb {
+			return ka < kb
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// interleave packs bits of each cell value round-robin, most
+// significant bit first: the classic Morton encoding generalized to d
+// dimensions.
+func interleave(cells []uint64, bits int) uint64 {
+	var key uint64
+	for b := bits - 1; b >= 0; b-- {
+		for _, c := range cells {
+			key = key<<1 | (c>>uint(b))&1
+		}
+	}
+	return key
+}
+
+// ReorderDataset returns a new dataset whose point k is ds's point
+// order[k] (labels follow). Use with SpatialOrder to make index-range
+// partitions spatially coherent; InvertOrder maps results back.
+func ReorderDataset(ds *geom.Dataset, order []int32) *geom.Dataset {
+	out := geom.NewDataset(ds.Len(), ds.Dim)
+	out.Name = ds.Name
+	if ds.Label != nil {
+		out.Label = make([]int32, ds.Len())
+	}
+	for k, src := range order {
+		out.Set(int32(k), ds.At(src))
+		if ds.Label != nil {
+			out.Label[k] = ds.Label[src]
+		}
+	}
+	return out
+}
+
+// InvertOrder maps labels computed on a reordered dataset back to the
+// original point order: result[i] is the label of original point i.
+func InvertOrder(order []int32, labels []int32) []int32 {
+	out := make([]int32, len(labels))
+	for k, src := range order {
+		out[src] = labels[k]
+	}
+	return out
+}

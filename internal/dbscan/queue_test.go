@@ -1,0 +1,154 @@
+package dbscan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sparkdbscan/internal/rng"
+)
+
+// fifo is the common interface of the three queue implementations.
+type fifo interface {
+	Push(int32)
+	Pop() int32
+	Empty() bool
+	Len() int
+}
+
+func queues() map[string]func() fifo {
+	return map[string]func() fifo{
+		"ring":   func() fifo { return &Queue{} },
+		"linked": func() fifo { return &LinkedQueue{} },
+		"slice":  func() fifo { return &SliceQueue{} },
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	for name, mk := range queues() {
+		q := mk()
+		for i := int32(0); i < 100; i++ {
+			q.Push(i)
+		}
+		for i := int32(0); i < 100; i++ {
+			if got := q.Pop(); got != i {
+				t.Fatalf("%s: Pop = %d, want %d", name, got, i)
+			}
+		}
+		if !q.Empty() {
+			t.Fatalf("%s: not empty after draining", name)
+		}
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	for name, mk := range queues() {
+		q := mk()
+		var model []int32
+		r := rng.New(42)
+		for op := 0; op < 10000; op++ {
+			if r.Intn(2) == 0 || len(model) == 0 {
+				v := int32(r.Intn(1000))
+				q.Push(v)
+				model = append(model, v)
+			} else {
+				want := model[0]
+				model = model[1:]
+				if got := q.Pop(); got != want {
+					t.Fatalf("%s: op %d: Pop = %d, want %d", name, op, got, want)
+				}
+			}
+			if q.Len() != len(model) {
+				t.Fatalf("%s: Len = %d, want %d", name, q.Len(), len(model))
+			}
+		}
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	for name, mk := range queues() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Pop on empty did not panic", name)
+				}
+			}()
+			mk().Pop()
+		}()
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	// Force the ring to wrap: push/pop cycles smaller than capacity.
+	q := &Queue{}
+	for cycle := 0; cycle < 50; cycle++ {
+		for i := int32(0); i < 40; i++ {
+			q.Push(i)
+		}
+		for i := int32(0); i < 40; i++ {
+			if got := q.Pop(); got != i {
+				t.Fatalf("cycle %d: got %d want %d", cycle, got, i)
+			}
+		}
+	}
+}
+
+func TestRingGrowPreservesOrder(t *testing.T) {
+	check := func(ops []int16) bool {
+		q := &Queue{}
+		var model []int32
+		for _, op := range ops {
+			if op >= 0 {
+				q.Push(int32(op))
+				model = append(model, int32(op))
+			} else if len(model) > 0 {
+				if q.Pop() != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		for _, want := range model {
+			if q.Pop() != want {
+				return false
+			}
+		}
+		return q.Empty()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueReset(t *testing.T) {
+	q := &Queue{}
+	q.Push(1)
+	q.Push(2)
+	q.Reset()
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("Reset did not empty the queue")
+	}
+	q.Push(3)
+	if q.Pop() != 3 {
+		t.Fatal("queue unusable after Reset")
+	}
+}
+
+func benchQueue(b *testing.B, mk func() fifo) {
+	// DBSCAN's access pattern: bursts of pushes (a neighbourhood)
+	// followed by interleaved pops.
+	for i := 0; i < b.N; i++ {
+		q := mk()
+		for round := 0; round < 100; round++ {
+			for j := int32(0); j < 50; j++ {
+				q.Push(j)
+			}
+			for j := 0; j < 50; j++ {
+				q.Pop()
+			}
+		}
+	}
+}
+
+func BenchmarkQueueRing(b *testing.B)   { benchQueue(b, func() fifo { return &Queue{} }) }
+func BenchmarkQueueLinked(b *testing.B) { benchQueue(b, func() fifo { return &LinkedQueue{} }) }
+func BenchmarkQueueSlice(b *testing.B)  { benchQueue(b, func() fifo { return &SliceQueue{} }) }

@@ -1,0 +1,85 @@
+// Package dsu provides a disjoint-set union (union-find) with union by
+// rank and path compression. The driver's fixpoint merge of partial
+// clusters (the robust variant of the paper's Algorithm 4) and the
+// Patwary-style comparison both build on it.
+package dsu
+
+// DSU is a forest of disjoint sets over the integers [0, n).
+type DSU struct {
+	parent []int32
+	rank   []int8
+	sets   int
+}
+
+// New returns a DSU with n singleton sets.
+func New(n int) *DSU {
+	d := &DSU{
+		parent: make([]int32, n),
+		rank:   make([]int8, n),
+		sets:   n,
+	}
+	for i := range d.parent {
+		d.parent[i] = int32(i)
+	}
+	return d
+}
+
+// Len returns the number of elements.
+func (d *DSU) Len() int { return len(d.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (d *DSU) Sets() int { return d.sets }
+
+// Find returns the canonical representative of x's set, compressing the
+// path as it goes.
+func (d *DSU) Find(x int32) int32 {
+	root := x
+	for d.parent[root] != root {
+		root = d.parent[root]
+	}
+	for d.parent[x] != root {
+		d.parent[x], x = root, d.parent[x]
+	}
+	return root
+}
+
+// Union merges the sets containing a and b and reports whether a merge
+// actually happened (false if they were already together).
+func (d *DSU) Union(a, b int32) bool {
+	ra, rb := d.Find(a), d.Find(b)
+	if ra == rb {
+		return false
+	}
+	if d.rank[ra] < d.rank[rb] {
+		ra, rb = rb, ra
+	}
+	d.parent[rb] = ra
+	if d.rank[ra] == d.rank[rb] {
+		d.rank[ra]++
+	}
+	d.sets--
+	return true
+}
+
+// Same reports whether a and b are in the same set.
+func (d *DSU) Same(a, b int32) bool { return d.Find(a) == d.Find(b) }
+
+// Labels returns a dense relabeling: out[i] is a small integer in
+// [0, Sets()) identifying i's set, with labels assigned in order of
+// first appearance.
+func (d *DSU) Labels() []int32 {
+	out := make([]int32, len(d.parent))
+	next := int32(0)
+	seen := make(map[int32]int32, d.sets)
+	for i := range d.parent {
+		r := d.Find(int32(i))
+		lbl, ok := seen[r]
+		if !ok {
+			lbl = next
+			seen[r] = lbl
+			next++
+		}
+		out[i] = lbl
+	}
+	return out
+}

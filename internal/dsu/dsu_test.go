@@ -1,0 +1,132 @@
+package dsu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sparkdbscan/internal/rng"
+)
+
+func TestSingletons(t *testing.T) {
+	d := New(5)
+	if d.Sets() != 5 || d.Len() != 5 {
+		t.Fatalf("Sets=%d Len=%d", d.Sets(), d.Len())
+	}
+	for i := int32(0); i < 5; i++ {
+		if d.Find(i) != i {
+			t.Fatalf("Find(%d) = %d", i, d.Find(i))
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	d := New(6)
+	if !d.Union(0, 1) {
+		t.Fatal("first union returned false")
+	}
+	if d.Union(1, 0) {
+		t.Fatal("repeat union returned true")
+	}
+	d.Union(2, 3)
+	d.Union(0, 3)
+	if !d.Same(1, 2) {
+		t.Fatal("transitive union failed")
+	}
+	if d.Same(0, 4) {
+		t.Fatal("unrelated elements joined")
+	}
+	if d.Sets() != 3 { // {0,1,2,3}, {4}, {5}
+		t.Fatalf("Sets = %d, want 3", d.Sets())
+	}
+}
+
+func TestLabelsDense(t *testing.T) {
+	d := New(5)
+	d.Union(0, 2)
+	d.Union(3, 4)
+	labels := d.Labels()
+	if labels[0] != labels[2] || labels[3] != labels[4] {
+		t.Fatalf("labels = %v", labels)
+	}
+	if labels[0] == labels[1] || labels[0] == labels[3] || labels[1] == labels[3] {
+		t.Fatalf("distinct sets share labels: %v", labels)
+	}
+	// Labels are dense, starting at 0, assigned in first-appearance order.
+	if labels[0] != 0 || labels[1] != 1 || labels[3] != 2 {
+		t.Fatalf("labels not dense/ordered: %v", labels)
+	}
+}
+
+func TestSetsCountMatchesComponents(t *testing.T) {
+	check := func(seed uint64, nRaw uint8, edges uint8) bool {
+		n := int(nRaw%50) + 2
+		d := New(n)
+		r := rng.New(seed)
+		// Reference: adjacency + flood fill.
+		adj := make([][]int, n)
+		for e := 0; e < int(edges); e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			d.Union(int32(a), int32(b))
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		seen := make([]bool, n)
+		comps := 0
+		for i := 0; i < n; i++ {
+			if seen[i] {
+				continue
+			}
+			comps++
+			stack := []int{i}
+			seen[i] = true
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, w := range adj[v] {
+					if !seen[w] {
+						seen[w] = true
+						stack = append(stack, w)
+					}
+				}
+			}
+		}
+		return d.Sets() == comps
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameIsEquivalenceRelation(t *testing.T) {
+	d := New(20)
+	r := rng.New(7)
+	for e := 0; e < 15; e++ {
+		d.Union(int32(r.Intn(20)), int32(r.Intn(20)))
+	}
+	for a := int32(0); a < 20; a++ {
+		if !d.Same(a, a) {
+			t.Fatal("not reflexive")
+		}
+		for b := int32(0); b < 20; b++ {
+			if d.Same(a, b) != d.Same(b, a) {
+				t.Fatal("not symmetric")
+			}
+			for c := int32(0); c < 20; c++ {
+				if d.Same(a, b) && d.Same(b, c) && !d.Same(a, c) {
+					t.Fatal("not transitive")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	r := rng.New(1)
+	const n = 10000
+	for i := 0; i < b.N; i++ {
+		d := New(n)
+		for e := 0; e < n; e++ {
+			d.Union(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+	}
+}

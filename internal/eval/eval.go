@@ -1,0 +1,231 @@
+// Package eval compares clusterings. DBSCAN's output is unique only up
+// to (a) cluster label permutation and (b) the assignment of border
+// points that are density-reachable from more than one cluster, so a
+// naive label comparison between the sequential reference and a
+// parallel run would report spurious mismatches. EquivCheck implements
+// the right equivalence; RandIndex/AdjustedRandIndex quantify agreement
+// against ground truth.
+package eval
+
+import (
+	"fmt"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+)
+
+// EquivReport describes how a candidate clustering relates to the
+// sequential reference.
+type EquivReport struct {
+	// CoreExact is true when core points are co-clustered identically
+	// (label permutation aside).
+	CoreExact bool
+	// NoiseExact is true when the two runs agree on the noise set.
+	NoiseExact bool
+	// BordersOK is true when every border point's candidate cluster is
+	// one it is legitimately density-reachable from.
+	BordersOK bool
+	// CoreViolations counts core points breaking the bijection.
+	CoreViolations int
+	// NoiseDiffs counts points noise in one run but not the other.
+	NoiseDiffs int
+	// BorderViolations counts borders assigned to an unreachable
+	// cluster.
+	BorderViolations int
+}
+
+// Exact reports full equivalence.
+func (r EquivReport) Exact() bool { return r.CoreExact && r.NoiseExact && r.BordersOK }
+
+func (r EquivReport) String() string {
+	return fmt.Sprintf("core=%v(viol=%d) noise=%v(diff=%d) borders=%v(viol=%d)",
+		r.CoreExact, r.CoreViolations, r.NoiseExact, r.NoiseDiffs, r.BordersOK, r.BorderViolations)
+}
+
+// EquivCheck compares candidate labels against the sequential
+// reference. idx must be an index over ds (used to validate border
+// assignments); it may be nil, in which case border validation is
+// skipped and BordersOK is reported true only if borders match the
+// core bijection outright.
+func EquivCheck(ds *geom.Dataset, ref *dbscan.Result, candidate []int32,
+	params dbscan.Params, idx kdtree.Index) (EquivReport, error) {
+	n := ds.Len()
+	if len(ref.Labels) != n || len(candidate) != n {
+		return EquivReport{}, fmt.Errorf("eval: label length mismatch: ref=%d cand=%d n=%d",
+			len(ref.Labels), len(candidate), n)
+	}
+	rep := EquivReport{CoreExact: true, NoiseExact: true, BordersOK: true}
+
+	// Pass 1: noise agreement.
+	for i := 0; i < n; i++ {
+		if (ref.Labels[i] == dbscan.Noise) != (candidate[i] == dbscan.Noise) {
+			rep.NoiseDiffs++
+		}
+	}
+	rep.NoiseExact = rep.NoiseDiffs == 0
+
+	// Pass 2: bijection over core points.
+	refToCand := make(map[int32]int32)
+	candToRef := make(map[int32]int32)
+	for i := 0; i < n; i++ {
+		if !ref.Core[i] {
+			continue
+		}
+		rl, cl := ref.Labels[i], candidate[i]
+		if cl == dbscan.Noise {
+			rep.CoreViolations++
+			continue
+		}
+		if prev, ok := refToCand[rl]; ok && prev != cl {
+			rep.CoreViolations++
+			continue
+		}
+		if prev, ok := candToRef[cl]; ok && prev != rl {
+			rep.CoreViolations++
+			continue
+		}
+		refToCand[rl] = cl
+		candToRef[cl] = rl
+	}
+	rep.CoreExact = rep.CoreViolations == 0
+
+	// Pass 3: border points. A border (clustered but non-core in the
+	// reference) may legitimately sit in any candidate cluster that
+	// contains a core point within eps of it.
+	var neighbors []int32
+	for i := 0; i < n; i++ {
+		if ref.Core[i] || ref.Labels[i] == dbscan.Noise {
+			continue
+		}
+		cl := candidate[int32(i)]
+		if cl == dbscan.Noise {
+			rep.BorderViolations++
+			continue
+		}
+		if img, ok := refToCand[ref.Labels[i]]; ok && img == cl {
+			continue // matches its reference cluster's image
+		}
+		if idx == nil {
+			rep.BorderViolations++
+			continue
+		}
+		neighbors = idx.Radius(ds.At(int32(i)), params.Eps, neighbors[:0], nil)
+		ok := false
+		for _, nb := range neighbors {
+			if ref.Core[nb] && candidate[nb] == cl {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			rep.BorderViolations++
+		}
+	}
+	rep.BordersOK = rep.BorderViolations == 0
+	return rep, nil
+}
+
+// RandIndex returns the Rand index between two labelings in [0, 1]
+// (1 = identical partitions). Noise labels (-1) are treated as
+// singleton clusters per point so that noise/cluster disagreements are
+// penalized. Computed via the pair-counting contingency table in
+// O(n + clusters²) memory.
+func RandIndex(a, b []int32) (float64, error) {
+	ri, _, err := randIndices(a, b)
+	return ri, err
+}
+
+// AdjustedRandIndex returns the chance-corrected Rand index (ARI),
+// which is 0 in expectation for random partitions and 1 for identical
+// ones.
+func AdjustedRandIndex(a, b []int32) (float64, error) {
+	_, ari, err := randIndices(a, b)
+	return ari, err
+}
+
+func randIndices(a, b []int32) (ri, ari float64, err error) {
+	if len(a) != len(b) {
+		return 0, 0, fmt.Errorf("eval: label length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return 1, 1, nil
+	}
+	// Relabel noise to unique singleton ids.
+	nextA, nextB := maxLabel(a)+1, maxLabel(b)+1
+	la := make([]int32, n)
+	lb := make([]int32, n)
+	for i := 0; i < n; i++ {
+		la[i] = a[i]
+		if la[i] < 0 {
+			la[i] = nextA
+			nextA++
+		}
+		lb[i] = b[i]
+		if lb[i] < 0 {
+			lb[i] = nextB
+			nextB++
+		}
+	}
+	type cell struct{ x, y int32 }
+	cont := make(map[cell]int64)
+	rowSum := make(map[int32]int64)
+	colSum := make(map[int32]int64)
+	for i := 0; i < n; i++ {
+		cont[cell{la[i], lb[i]}]++
+		rowSum[la[i]]++
+		colSum[lb[i]]++
+	}
+	choose2 := func(x int64) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumCells, sumRows, sumCols float64
+	for _, c := range cont {
+		sumCells += choose2(c)
+	}
+	for _, c := range rowSum {
+		sumRows += choose2(c)
+	}
+	for _, c := range colSum {
+		sumCols += choose2(c)
+	}
+	totalPairs := choose2(int64(n))
+	if totalPairs == 0 {
+		// A single point induces no pairs; the partitions trivially
+		// agree.
+		return 1, 1, nil
+	}
+	// Rand index = (agreements) / totalPairs.
+	ri = (totalPairs + 2*sumCells - sumRows - sumCols) / totalPairs
+	expected := sumRows * sumCols / totalPairs
+	maxIdx := (sumRows + sumCols) / 2
+	if maxIdx == expected {
+		ari = 1
+	} else {
+		ari = (sumCells - expected) / (maxIdx - expected)
+	}
+	return ri, ari, nil
+}
+
+func maxLabel(xs []int32) int32 {
+	var m int32 = -1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ClusterSizes returns, for each non-noise label, the number of points
+// carrying it, plus the noise count.
+func ClusterSizes(labels []int32) (sizes map[int32]int, noise int) {
+	sizes = make(map[int32]int)
+	for _, l := range labels {
+		if l == dbscan.Noise {
+			noise++
+		} else {
+			sizes[l]++
+		}
+	}
+	return sizes, noise
+}

@@ -1,0 +1,235 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+)
+
+func TestRandIndexIdentical(t *testing.T) {
+	a := []int32{0, 0, 1, 1, -1}
+	ri, err := RandIndex(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri != 1 {
+		t.Fatalf("RI of identical labelings = %g", ri)
+	}
+	ari, _ := AdjustedRandIndex(a, a)
+	if ari != 1 {
+		t.Fatalf("ARI of identical labelings = %g", ari)
+	}
+}
+
+func TestRandIndexPermutationInvariant(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2}
+	b := []int32{5, 5, 3, 3, 9}
+	ri, _ := RandIndex(a, b)
+	if ri != 1 {
+		t.Fatalf("RI under relabeling = %g, want 1", ri)
+	}
+}
+
+func TestRandIndexDisagreement(t *testing.T) {
+	a := []int32{0, 0, 0, 0}
+	b := []int32{0, 0, 1, 1}
+	ri, _ := RandIndex(a, b)
+	// Pairs: 6 total; agreements: pairs co-clustered in both (0,1) and
+	// (2,3) = 2, pairs separated in both = 0 -> RI = 2/6.
+	if math.Abs(ri-1.0/3) > 1e-9 {
+		t.Fatalf("RI = %g, want 1/3", ri)
+	}
+}
+
+func TestNoiseTreatedAsSingletons(t *testing.T) {
+	a := []int32{-1, -1}
+	b := []int32{0, 0}
+	ri, _ := RandIndex(a, b)
+	// a separates the pair (two noise singletons), b joins it: 0 of 1
+	// pairs agree.
+	if ri != 0 {
+		t.Fatalf("RI = %g, want 0", ri)
+	}
+	same, _ := RandIndex(a, a)
+	if same != 1 {
+		t.Fatalf("noise-vs-noise RI = %g", same)
+	}
+}
+
+func TestARIRandomIsLow(t *testing.T) {
+	// A labeling vs a rotated copy of itself should have low ARI.
+	n := 1000
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := 0; i < n; i++ {
+		a[i] = int32(i % 10)
+		b[i] = int32((i / 100) % 10)
+	}
+	ari, _ := AdjustedRandIndex(a, b)
+	if math.Abs(ari) > 0.05 {
+		t.Fatalf("ARI of independent labelings = %g, want ~0", ari)
+	}
+}
+
+func TestLengthMismatch(t *testing.T) {
+	if _, err := RandIndex([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestEmptyLabelings(t *testing.T) {
+	ri, err := RandIndex(nil, nil)
+	if err != nil || ri != 1 {
+		t.Fatalf("empty RI = %g, %v", ri, err)
+	}
+}
+
+func TestClusterSizes(t *testing.T) {
+	sizes, noise := ClusterSizes([]int32{0, 0, 1, -1, -1, -1})
+	if noise != 3 || sizes[0] != 2 || sizes[1] != 1 {
+		t.Fatalf("sizes=%v noise=%d", sizes, noise)
+	}
+}
+
+// buildRefCase constructs a small dataset with two clusters plus a
+// shared border point, runs sequential DBSCAN, and returns everything
+// EquivCheck needs.
+func buildRefCase(t *testing.T) (*geom.Dataset, *dbscan.Result, *kdtree.Tree, dbscan.Params) {
+	t.Helper()
+	pts := [][2]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, {0.05, 0.05}, // cluster A
+		{10, 0}, {10.1, 0}, {10, 0.1}, {10.1, 0.1}, {10.05, 0.05}, // cluster B
+		{50, 50}, // noise
+	}
+	ds := geom.NewDataset(len(pts), 2)
+	for i, p := range pts {
+		ds.Set(int32(i), []float64{p[0], p[1]})
+	}
+	tree := kdtree.Build(ds)
+	params := dbscan.Params{Eps: 1, MinPts: 4}
+	ref, err := dbscan.Run(ds, tree, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumClusters != 2 || ref.NumNoise != 1 {
+		t.Fatalf("fixture wrong: %d clusters, %d noise", ref.NumClusters, ref.NumNoise)
+	}
+	return ds, ref, tree, params
+}
+
+func TestEquivCheckExactMatch(t *testing.T) {
+	ds, ref, tree, params := buildRefCase(t)
+	rep, err := EquivCheck(ds, ref, ref.Labels, params, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact() {
+		t.Fatalf("self-comparison not exact: %v", rep)
+	}
+}
+
+func TestEquivCheckPermutedLabels(t *testing.T) {
+	ds, ref, tree, params := buildRefCase(t)
+	permuted := make([]int32, len(ref.Labels))
+	for i, l := range ref.Labels {
+		switch l {
+		case 0:
+			permuted[i] = 1
+		case 1:
+			permuted[i] = 0
+		default:
+			permuted[i] = l
+		}
+	}
+	rep, err := EquivCheck(ds, ref, permuted, params, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact() {
+		t.Fatalf("permutation not recognised as equivalent: %v", rep)
+	}
+}
+
+func TestEquivCheckDetectsMergedClusters(t *testing.T) {
+	ds, ref, tree, params := buildRefCase(t)
+	merged := make([]int32, len(ref.Labels))
+	for i, l := range ref.Labels {
+		if l >= 0 {
+			merged[i] = 0 // everything into one cluster
+		} else {
+			merged[i] = l
+		}
+	}
+	rep, _ := EquivCheck(ds, ref, merged, params, tree)
+	if rep.CoreExact {
+		t.Fatalf("merged clusters not detected: %v", rep)
+	}
+}
+
+func TestEquivCheckDetectsNoiseFlip(t *testing.T) {
+	ds, ref, tree, params := buildRefCase(t)
+	flipped := append([]int32(nil), ref.Labels...)
+	flipped[10] = 0 // noise point forced into cluster 0
+	rep, _ := EquivCheck(ds, ref, flipped, params, tree)
+	if rep.NoiseExact {
+		t.Fatalf("noise flip not detected: %v", rep)
+	}
+}
+
+func TestEquivCheckDetectsDroppedCore(t *testing.T) {
+	ds, ref, tree, params := buildRefCase(t)
+	dropped := append([]int32(nil), ref.Labels...)
+	dropped[0] = dbscan.Noise
+	rep, _ := EquivCheck(ds, ref, dropped, params, tree)
+	if rep.CoreExact {
+		t.Fatalf("dropped core not detected: %v", rep)
+	}
+}
+
+func TestEquivCheckBorderReassignmentAllowed(t *testing.T) {
+	// A border point within eps of cores from both clusters may carry
+	// either cluster's label.
+	pts := [][2]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.3, 0}, // cluster A, arm at (0.3,0)
+		{2.5, 0}, {2.4, 0}, {2.5, 0.1}, {2.2, 0}, // cluster B, arm at (2.2,0)
+		{1.25, 0}, // shared border: within eps=1 of both arms only (3 nbrs < minPts)
+	}
+	ds := geom.NewDataset(len(pts), 2)
+	for i, p := range pts {
+		ds.Set(int32(i), []float64{p[0], p[1]})
+	}
+	tree := kdtree.Build(ds)
+	params := dbscan.Params{Eps: 1, MinPts: 4}
+	ref, err := dbscan.Run(ds, tree, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumClusters != 2 || ref.Core[8] {
+		t.Fatalf("fixture wrong: clusters=%d core8=%v", ref.NumClusters, ref.Core[8])
+	}
+	// Reassign the border to the other cluster.
+	other := append([]int32(nil), ref.Labels...)
+	if other[8] == ref.Labels[3] {
+		other[8] = ref.Labels[7]
+	} else {
+		other[8] = ref.Labels[3]
+	}
+	rep, err := EquivCheck(ds, ref, other, params, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact() {
+		t.Fatalf("legitimate border reassignment rejected: %v", rep)
+	}
+	// But assigning it to a far-away cluster is not legitimate: make a
+	// third fake cluster id... a border moved to noise must also fail.
+	bad := append([]int32(nil), ref.Labels...)
+	bad[8] = dbscan.Noise
+	rep, _ = EquivCheck(ds, ref, bad, params, tree)
+	if rep.BordersOK && rep.NoiseExact {
+		t.Fatalf("border dropped to noise not detected: %v", rep)
+	}
+}

@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+)
+
+// NMI returns the normalized mutual information between two labelings,
+// in [0, 1] (1 = identical partitions up to relabeling). Noise labels
+// (-1) are treated as singleton clusters, as in RandIndex.
+// Normalization is by the arithmetic mean of the entropies (the "NMI
+// sum" variant).
+func NMI(a, b []int32) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: label length mismatch %d vs %d", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return 1, nil
+	}
+	la, lb := singletonizeNoise(a), singletonizeNoise(b)
+	type cell struct{ x, y int32 }
+	joint := make(map[cell]float64)
+	pa := make(map[int32]float64)
+	pb := make(map[int32]float64)
+	for i := 0; i < n; i++ {
+		joint[cell{la[i], lb[i]}]++
+		pa[la[i]]++
+		pb[lb[i]]++
+	}
+	fn := float64(n)
+	var mi float64
+	for c, cnt := range joint {
+		pxy := cnt / fn
+		px := pa[c.x] / fn
+		py := pb[c.y] / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	entropy := func(p map[int32]float64) float64 {
+		var h float64
+		for _, cnt := range p {
+			q := cnt / fn
+			h -= q * math.Log(q)
+		}
+		return h
+	}
+	ha, hb := entropy(pa), entropy(pb)
+	if ha+hb == 0 {
+		return 1, nil // both labelings are a single cluster
+	}
+	nmi := 2 * mi / (ha + hb)
+	// Clamp numerical noise.
+	if nmi > 1 {
+		nmi = 1
+	}
+	if nmi < 0 {
+		nmi = 0
+	}
+	return nmi, nil
+}
+
+func singletonizeNoise(xs []int32) []int32 {
+	next := maxLabel(xs) + 1
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		if x < 0 {
+			out[i] = next
+			next++
+		} else {
+			out[i] = x
+		}
+	}
+	return out
+}

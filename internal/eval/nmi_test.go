@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNMIIdentical(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, -1}
+	nmi, err := NMI(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map iteration order permutes the float summation, so exact 1.0
+	// is not guaranteed.
+	if math.Abs(nmi-1) > 1e-12 {
+		t.Fatalf("NMI self = %g", nmi)
+	}
+}
+
+func TestNMIPermutationInvariant(t *testing.T) {
+	a := []int32{0, 0, 1, 1, 2, 2}
+	b := []int32{7, 7, 3, 3, 5, 5}
+	nmi, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nmi-1) > 1e-12 {
+		t.Fatalf("NMI under relabeling = %g", nmi)
+	}
+}
+
+func TestNMIIndependentIsLow(t *testing.T) {
+	n := 1000
+	a := make([]int32, n)
+	b := make([]int32, n)
+	for i := 0; i < n; i++ {
+		a[i] = int32(i % 10)
+		b[i] = int32((i / 100) % 10)
+	}
+	nmi, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi > 0.05 {
+		t.Fatalf("NMI of independent labelings = %g", nmi)
+	}
+}
+
+func TestNMIBounds(t *testing.T) {
+	a := []int32{0, 0, 0, 1, 1, 2}
+	b := []int32{0, 1, 0, 1, 1, 0}
+	nmi, err := NMI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0 || nmi > 1 {
+		t.Fatalf("NMI out of [0,1]: %g", nmi)
+	}
+}
+
+func TestNMIEdgeCases(t *testing.T) {
+	if _, err := NMI([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if nmi, err := NMI(nil, nil); err != nil || nmi != 1 {
+		t.Fatalf("empty NMI = %g, %v", nmi, err)
+	}
+	// Single cluster vs single cluster: zero entropy on both sides.
+	if nmi, err := NMI([]int32{0, 0}, []int32{5, 5}); err != nil || nmi != 1 {
+		t.Fatalf("degenerate NMI = %g, %v", nmi, err)
+	}
+}

@@ -1,0 +1,275 @@
+package geom
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sparkdbscan/internal/rng"
+)
+
+func randomDataset(seed uint64, n, dim int, withLabels bool) *Dataset {
+	r := rng.New(seed)
+	ds := NewDataset(n, dim)
+	for i := range ds.Coords {
+		ds.Coords[i] = r.NormFloat64() * 100
+	}
+	if withLabels {
+		ds.Label = make([]int32, n)
+		for i := range ds.Label {
+			ds.Label[i] = int32(r.Intn(5)) - 1
+		}
+	}
+	return ds
+}
+
+func TestDatasetLenAt(t *testing.T) {
+	ds := NewDataset(3, 2)
+	ds.Set(0, []float64{1, 2})
+	ds.Set(1, []float64{3, 4})
+	ds.Set(2, []float64{5, 6})
+	if ds.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ds.Len())
+	}
+	if got := ds.At(1); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("At(1) = %v", got)
+	}
+}
+
+func TestSetDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set with wrong dim did not panic")
+		}
+	}()
+	NewDataset(1, 3).Set(0, []float64{1})
+}
+
+func TestEmptyDatasetLen(t *testing.T) {
+	ds := &Dataset{}
+	if ds.Len() != 0 {
+		t.Fatalf("empty dataset Len = %d", ds.Len())
+	}
+}
+
+func TestSliceView(t *testing.T) {
+	ds := randomDataset(1, 10, 3, true)
+	s := ds.Slice(2, 7)
+	if s.Len() != 5 {
+		t.Fatalf("slice len = %d, want 5", s.Len())
+	}
+	for i := int32(0); i < 5; i++ {
+		want := ds.At(i + 2)
+		got := s.At(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("slice point %d coord %d: %g != %g", i, j, got[j], want[j])
+			}
+		}
+		if s.Label[i] != ds.Label[i+2] {
+			t.Fatalf("slice label %d mismatch", i)
+		}
+	}
+	// Views share storage.
+	s.Coords[0] = 999
+	if ds.At(2)[0] != 999 {
+		t.Fatal("Slice did not share storage")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{1, 2, 2}
+	if got := SqDist(a, b); got != 9 {
+		t.Fatalf("SqDist = %g, want 9", got)
+	}
+	if got := Dist(a, b); got != 3 {
+		t.Fatalf("Dist = %g, want 3", got)
+	}
+	if got := Dist(a, a); got != 0 {
+		t.Fatalf("Dist(a,a) = %g", got)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	check := func(ax, ay, bx, by float64) bool {
+		if math.IsNaN(ax) || math.IsNaN(ay) || math.IsNaN(bx) || math.IsNaN(by) {
+			return true
+		}
+		a := []float64{ax, ay}
+		b := []float64{bx, by}
+		return SqDist(a, b) == SqDist(b, a)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	ds := NewDataset(3, 2)
+	ds.Set(0, []float64{1, 5})
+	ds.Set(1, []float64{-2, 7})
+	ds.Set(2, []float64{0, -3})
+	r := ds.Bounds()
+	if r.Min[0] != -2 || r.Min[1] != -3 || r.Max[0] != 1 || r.Max[1] != 7 {
+		t.Fatalf("Bounds = %+v", r)
+	}
+}
+
+func TestBoundsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bounds of empty dataset did not panic")
+		}
+	}()
+	NewDataset(0, 2).Bounds()
+}
+
+func TestRectSqDistToPoint(t *testing.T) {
+	r := Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}
+	cases := []struct {
+		q    []float64
+		want float64
+	}{
+		{[]float64{0.5, 0.5}, 0},
+		{[]float64{2, 0.5}, 1},
+		{[]float64{-1, -1}, 2},
+		{[]float64{0.5, 3}, 4},
+	}
+	for _, c := range cases {
+		if got := r.SqDistToPoint(c.q); got != c.want {
+			t.Fatalf("SqDistToPoint(%v) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}
+	if !r.Contains([]float64{0, 1}) {
+		t.Fatal("boundary point not contained")
+	}
+	if r.Contains([]float64{1.01, 0.5}) {
+		t.Fatal("outside point contained")
+	}
+}
+
+func TestRectClone(t *testing.T) {
+	r := Rect{Min: []float64{0}, Max: []float64{1}}
+	c := r.Clone()
+	c.Min[0] = -5
+	if r.Min[0] != 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	for _, withLabels := range []bool{false, true} {
+		ds := randomDataset(2, 50, 4, withLabels)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, ds); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualDatasets(t, ds, got)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, withLabels := range []bool{false, true} {
+		ds := randomDataset(3, 75, 10, withLabels)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, ds); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualDatasets(t, ds, got)
+	}
+}
+
+func assertEqualDatasets(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if got.Dim != want.Dim || got.Len() != want.Len() {
+		t.Fatalf("shape mismatch: got (%d,%d) want (%d,%d)", got.Len(), got.Dim, want.Len(), want.Dim)
+	}
+	for i := range want.Coords {
+		if got.Coords[i] != want.Coords[i] {
+			t.Fatalf("coord %d: %g != %g", i, got.Coords[i], want.Coords[i])
+		}
+	}
+	if (want.Label == nil) != (got.Label == nil) {
+		t.Fatalf("label presence mismatch")
+	}
+	for i := range want.Label {
+		if got.Label[i] != want.Label[i] {
+			t.Fatalf("label %d: %d != %d", i, got.Label[i], want.Label[i])
+		}
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"ragged":             "1 2 3\n1 2\n",
+		"bad number":         "1 x\n",
+		"bad label":          "1 2 #z\n",
+		"inconsistent label": "1 2 #0\n3 4\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadText(strings.NewReader(input)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadTextSkipsBlanksAndComments(t *testing.T) {
+	ds, err := ReadText(strings.NewReader("// header\n1 2\n\n3 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Dim != 2 {
+		t.Fatalf("got %d points dim %d", ds.Len(), ds.Dim)
+	}
+}
+
+func TestReadTextCommaSeparated(t *testing.T) {
+	ds, err := ReadText(strings.NewReader("1,2,3\n4,5,6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Dim != 3 || ds.At(1)[2] != 6 {
+		t.Fatalf("unexpected parse: %+v", ds)
+	}
+}
+
+func TestReadBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte{1, 2, 3, 4, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestReadBinaryTruncated(t *testing.T) {
+	ds := randomDataset(4, 10, 2, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-5])); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	ds := NewDataset(10, 3)
+	if got := ds.SizeBytes(); got != 240 {
+		t.Fatalf("SizeBytes = %d, want 240", got)
+	}
+}

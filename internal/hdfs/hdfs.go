@@ -1,0 +1,206 @@
+// Package hdfs simulates the distributed filesystem the paper reads its
+// input from. Only the properties the experiments depend on are
+// modelled: files are split into fixed-size blocks (which become input
+// splits for MapReduce and partitions for Spark's textFile), reads are
+// charged per byte into a work ledger (the Δ term of the paper's cost
+// model), and writes can be replicated (MapReduce output).
+//
+// Storage is in-memory; durability is out of scope. The filesystem is
+// safe for concurrent use.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sparkdbscan/internal/simtime"
+)
+
+// DefaultBlockSize matches HDFS's classic 64 MiB default.
+const DefaultBlockSize = 64 << 20
+
+// FileSystem is an in-memory block store.
+type FileSystem struct {
+	mu          sync.RWMutex
+	blockSize   int
+	replication int
+	files       map[string][][]byte
+}
+
+// New returns a filesystem with the given block size and replication
+// factor. Replication multiplies write cost only (reads hit one
+// replica).
+func New(blockSize, replication int) *FileSystem {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if replication < 1 {
+		replication = 1
+	}
+	return &FileSystem{
+		blockSize:   blockSize,
+		replication: replication,
+		files:       make(map[string][][]byte),
+	}
+}
+
+// BlockSize returns the filesystem's block size in bytes.
+func (fs *FileSystem) BlockSize() int { return fs.blockSize }
+
+// Write stores data under name, splitting it into blocks and replacing
+// any existing file. The write cost (replication included) is charged
+// to w if non-nil.
+func (fs *FileSystem) Write(name string, data []byte, w *simtime.Work) error {
+	if name == "" {
+		return fmt.Errorf("hdfs: empty file name")
+	}
+	var blocks [][]byte
+	for off := 0; off < len(data); off += fs.blockSize {
+		end := off + fs.blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		block := make([]byte, end-off)
+		copy(block, data[off:end])
+		blocks = append(blocks, block)
+	}
+	if len(blocks) == 0 {
+		blocks = [][]byte{{}}
+	}
+	fs.mu.Lock()
+	fs.files[name] = blocks
+	fs.mu.Unlock()
+	if w != nil {
+		w.HDFSBytes += int64(len(data)) * int64(fs.replication)
+	}
+	return nil
+}
+
+// Read returns the full contents of name, charging the read to w.
+func (fs *FileSystem) Read(name string, w *simtime.Work) ([]byte, error) {
+	fs.mu.RLock()
+	blocks, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("hdfs: no such file %q", name)
+	}
+	var total int
+	for _, b := range blocks {
+		total += len(b)
+	}
+	out := make([]byte, 0, total)
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	if w != nil {
+		w.HDFSBytes += int64(total)
+	}
+	return out, nil
+}
+
+// NumBlocks returns how many blocks name occupies, or an error if it
+// does not exist. MapReduce uses one map task per block.
+func (fs *FileSystem) NumBlocks(name string) (int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	blocks, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("hdfs: no such file %q", name)
+	}
+	return len(blocks), nil
+}
+
+// ReadBlock returns block i of name, charging the read to w.
+func (fs *FileSystem) ReadBlock(name string, i int, w *simtime.Work) ([]byte, error) {
+	fs.mu.RLock()
+	blocks, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("hdfs: no such file %q", name)
+	}
+	if i < 0 || i >= len(blocks) {
+		return nil, fmt.Errorf("hdfs: %q has %d blocks, asked for %d", name, len(blocks), i)
+	}
+	if w != nil {
+		w.HDFSBytes += int64(len(blocks[i]))
+	}
+	out := make([]byte, len(blocks[i]))
+	copy(out, blocks[i])
+	return out, nil
+}
+
+// ReadAt returns up to length bytes of name starting at byte off,
+// reading across block boundaries (fewer bytes are returned at end of
+// file). The bytes actually read are charged to w. Record-aware
+// readers (spark.TextFileLines) use it to finish a record that spans
+// into the next block.
+func (fs *FileSystem) ReadAt(name string, off, length int64, w *simtime.Work) ([]byte, error) {
+	fs.mu.RLock()
+	blocks, ok := fs.files[name]
+	fs.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("hdfs: no such file %q", name)
+	}
+	if off < 0 || length < 0 {
+		return nil, fmt.Errorf("hdfs: negative range (%d, %d)", off, length)
+	}
+	var out []byte
+	pos := int64(0)
+	for _, b := range blocks {
+		blockEnd := pos + int64(len(b))
+		if blockEnd > off && pos < off+length {
+			lo := int64(0)
+			if off > pos {
+				lo = off - pos
+			}
+			hi := int64(len(b))
+			if pos+hi > off+length {
+				hi = off + length - pos
+			}
+			out = append(out, b[lo:hi]...)
+		}
+		pos = blockEnd
+		if pos >= off+length {
+			break
+		}
+	}
+	if w != nil {
+		w.HDFSBytes += int64(len(out))
+	}
+	return out, nil
+}
+
+// Size returns the byte size of name.
+func (fs *FileSystem) Size(name string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	blocks, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("hdfs: no such file %q", name)
+	}
+	var total int64
+	for _, b := range blocks {
+		total += int64(len(b))
+	}
+	return total, nil
+}
+
+// Delete removes name; deleting a missing file is not an error.
+func (fs *FileSystem) Delete(name string) {
+	fs.mu.Lock()
+	delete(fs.files, name)
+	fs.mu.Unlock()
+}
+
+// List returns all file names in sorted order.
+func (fs *FileSystem) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,193 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+
+	"sparkdbscan/internal/simtime"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := New(16, 1)
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	if err := fs.Write("f", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("round trip mismatch: %q", got)
+	}
+}
+
+func TestBlockSplitting(t *testing.T) {
+	fs := New(10, 1)
+	data := make([]byte, 35)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.Write("f", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	n, err := fs.NumBlocks("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // 10+10+10+5
+		t.Fatalf("NumBlocks = %d, want 4", n)
+	}
+	var rebuilt []byte
+	for i := 0; i < n; i++ {
+		b, err := fs.ReadBlock("f", i, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt = append(rebuilt, b...)
+	}
+	if !bytes.Equal(rebuilt, data) {
+		t.Fatal("blocks do not reassemble")
+	}
+	if len(rebuilt) != 35 {
+		t.Fatalf("rebuilt %d bytes", len(rebuilt))
+	}
+}
+
+func TestEmptyFileHasOneBlock(t *testing.T) {
+	fs := New(10, 1)
+	if err := fs.Write("empty", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := fs.NumBlocks("empty"); n != 1 {
+		t.Fatalf("empty file NumBlocks = %d", n)
+	}
+	got, err := fs.Read("empty", nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty read: %v, %v", got, err)
+	}
+}
+
+func TestReadChargesWork(t *testing.T) {
+	fs := New(0, 3) // default block size, replication 3
+	data := make([]byte, 1000)
+	var w simtime.Work
+	if err := fs.Write("f", data, &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.HDFSBytes != 3000 {
+		t.Fatalf("write charged %d, want 3000 (replication)", w.HDFSBytes)
+	}
+	var r simtime.Work
+	if _, err := fs.Read("f", &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.HDFSBytes != 1000 {
+		t.Fatalf("read charged %d, want 1000", r.HDFSBytes)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	fs := New(10, 1)
+	if _, err := fs.Read("missing", nil); err == nil {
+		t.Fatal("read of missing file succeeded")
+	}
+	if _, err := fs.NumBlocks("missing"); err == nil {
+		t.Fatal("NumBlocks of missing file succeeded")
+	}
+	if _, err := fs.Size("missing"); err == nil {
+		t.Fatal("Size of missing file succeeded")
+	}
+	if err := fs.Write("", []byte("x"), nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	fs.Write("f", []byte("0123456789abcdef"), nil)
+	if _, err := fs.ReadBlock("f", 5, nil); err == nil {
+		t.Fatal("out-of-range block read succeeded")
+	}
+	if _, err := fs.ReadBlock("f", -1, nil); err == nil {
+		t.Fatal("negative block read succeeded")
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	fs := New(10, 1)
+	fs.Write("f", []byte("old old old old"), nil)
+	fs.Write("f", []byte("new"), nil)
+	got, _ := fs.Read("f", nil)
+	if string(got) != "new" {
+		t.Fatalf("overwrite failed: %q", got)
+	}
+	fs.Delete("f")
+	if _, err := fs.Read("f", nil); err == nil {
+		t.Fatal("deleted file still readable")
+	}
+	fs.Delete("f") // deleting again is fine
+}
+
+func TestListSorted(t *testing.T) {
+	fs := New(10, 1)
+	for _, n := range []string{"c", "a", "b"} {
+		fs.Write(n, []byte{1}, nil)
+	}
+	got := fs.List()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("List = %v", got)
+	}
+}
+
+func TestSize(t *testing.T) {
+	fs := New(8, 1)
+	fs.Write("f", make([]byte, 100), nil)
+	if sz, _ := fs.Size("f"); sz != 100 {
+		t.Fatalf("Size = %d", sz)
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	fs := New(10, 1)
+	data := []byte("0123456789abcdefghijKLMNO")
+	fs.Write("f", data, nil)
+	cases := []struct {
+		off, n int64
+		want   string
+	}{
+		{0, 5, "01234"},
+		{5, 10, "56789abcde"}, // crosses a block boundary
+		{9, 2, "9a"},
+		{20, 100, "KLMNO"}, // truncated at EOF
+		{25, 5, ""},
+		{0, 25, string(data)},
+	}
+	for _, c := range cases {
+		var w simtime.Work
+		got, err := fs.ReadAt("f", c.off, c.n, &w)
+		if err != nil {
+			t.Fatalf("ReadAt(%d,%d): %v", c.off, c.n, err)
+		}
+		if string(got) != c.want {
+			t.Fatalf("ReadAt(%d,%d) = %q, want %q", c.off, c.n, got, c.want)
+		}
+		if w.HDFSBytes != int64(len(got)) {
+			t.Fatalf("ReadAt(%d,%d) charged %d for %d bytes", c.off, c.n, w.HDFSBytes, len(got))
+		}
+	}
+	if _, err := fs.ReadAt("missing", 0, 1, nil); err == nil {
+		t.Fatal("ReadAt on missing file succeeded")
+	}
+	if _, err := fs.ReadAt("f", -1, 1, nil); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestBlocksAreCopies(t *testing.T) {
+	fs := New(10, 1)
+	data := []byte("0123456789")
+	fs.Write("f", data, nil)
+	b, _ := fs.ReadBlock("f", 0, nil)
+	b[0] = 'X'
+	again, _ := fs.ReadBlock("f", 0, nil)
+	if again[0] != '0' {
+		t.Fatal("ReadBlock exposed internal storage")
+	}
+}

@@ -1,0 +1,171 @@
+package kdist
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/quest"
+	"sparkdbscan/internal/rng"
+	"sparkdbscan/internal/spark"
+)
+
+// bruteKDist is the O(n²) reference.
+func bruteKDist(ds *geom.Dataset, k int) []float64 {
+	n := ds.Len()
+	out := make([]float64, n)
+	for i := int32(0); i < int32(n); i++ {
+		dists := make([]float64, 0, n-1)
+		for j := int32(0); j < int32(n); j++ {
+			if i == j {
+				continue
+			}
+			dists = append(dists, geom.Dist(ds.At(i), ds.At(j)))
+		}
+		sort.Float64s(dists)
+		out[i] = dists[k-1]
+	}
+	return out
+}
+
+func randomDS(seed uint64, n, dim int) *geom.Dataset {
+	r := rng.New(seed)
+	ds := geom.NewDataset(n, dim)
+	for i := range ds.Coords {
+		ds.Coords[i] = r.Float64() * 100
+	}
+	return ds
+}
+
+func TestComputeMatchesBruteForce(t *testing.T) {
+	ds := randomDS(1, 300, 3)
+	tree := kdtree.Build(ds)
+	for _, k := range []int{1, 4, 10} {
+		got, err := Compute(ds, tree, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKDist(ds, k)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("k=%d point %d: %g != %g", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestComputeDistributedMatchesSequential(t *testing.T) {
+	ds := randomDS(2, 500, 4)
+	tree := kdtree.Build(ds)
+	seq, err := Compute(ds, tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx := spark.NewContext(spark.Config{Cores: 4})
+	dist, err := ComputeDistributed(sctx, ds, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if math.Abs(seq[i]-dist[i]) > 1e-9 {
+			t.Fatalf("point %d: %g != %g", i, seq[i], dist[i])
+		}
+	}
+	if rep := sctx.Report(); rep.ExecutorSeconds <= 0 {
+		t.Fatal("distributed k-dist charged no executor time")
+	}
+}
+
+func TestKRange(t *testing.T) {
+	ds := randomDS(3, 10, 2)
+	tree := kdtree.Build(ds)
+	if _, err := Compute(ds, tree, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Compute(ds, tree, 10); err == nil {
+		t.Fatal("k=n accepted")
+	}
+}
+
+func TestSuggestEpsRecoversGoodParams(t *testing.T) {
+	// On a Table I dataset, the suggested eps for k = minpts-1 must
+	// make DBSCAN recover the planted clusters.
+	spec, err := quest.ByName("c10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := quest.Generate(spec.Scaled(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := kdtree.Build(ds)
+	k := quest.TableIMinPts - 1
+	kd, err := Compute(ds, tree, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, noiseFrac, err := SuggestEps(kd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps <= 0 {
+		t.Fatalf("eps = %g", eps)
+	}
+	if noiseFrac < 0 || noiseFrac > 0.3 {
+		t.Fatalf("noise fraction estimate %g implausible (planted 2%%)", noiseFrac)
+	}
+	res, err := dbscan.Run(ds, tree, dbscan.Params{Eps: eps, MinPts: quest.TableIMinPts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 planted clusters at this scale; the suggested eps must find a
+	// sane structure (not everything merged, not everything shattered).
+	planted := spec.Scaled(3000).NumClusters
+	if res.NumClusters < planted || res.NumClusters > planted*4 {
+		t.Fatalf("suggested eps %.1f found %d clusters for %d planted", eps, res.NumClusters, planted)
+	}
+}
+
+func TestSuggestEpsEdgeCases(t *testing.T) {
+	if _, _, err := SuggestEps([]float64{1, 2}); err == nil {
+		t.Fatal("too-short input accepted")
+	}
+	// Flat curve: everything at the same k-distance.
+	eps, frac, err := SuggestEps([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps != 5 || frac != 0 {
+		t.Fatalf("flat curve: eps=%g frac=%g", eps, frac)
+	}
+}
+
+func TestKDistancesDecreaseWithDensity(t *testing.T) {
+	// A dense blob must have smaller k-distances than sparse noise.
+	r := rng.New(7)
+	ds := geom.NewDataset(600, 2)
+	for i := 0; i < 500; i++ { // dense blob
+		ds.Set(int32(i), []float64{r.NormFloat64() * 2, r.NormFloat64() * 2})
+	}
+	for i := 500; i < 600; i++ { // sparse background
+		ds.Set(int32(i), []float64{r.Float64()*1000 - 500, r.Float64()*1000 - 500})
+	}
+	tree := kdtree.Build(ds)
+	kd, err := Compute(ds, tree, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blob, bg float64
+	for i := 0; i < 500; i++ {
+		blob += kd[i]
+	}
+	for i := 500; i < 600; i++ {
+		bg += kd[i]
+	}
+	if blob/500 >= bg/100/5 {
+		t.Fatalf("blob mean k-dist %.2f not well below background %.2f", blob/500, bg/100)
+	}
+}

@@ -1,0 +1,376 @@
+// Package kdtree implements the spatial index the paper uses to bring
+// DBSCAN's neighbourhood queries from O(n²) to ~O(n log n): a bucketed
+// kd-tree (Bentley 1975) with eps-radius range search, an optional
+// "pruned branches" search that caps the number of reported neighbours
+// (the paper enables this for the 1-million-point runs, §V-E), and a
+// brute-force index used as the correctness and ablation baseline.
+//
+// Every search can meter its work into a SearchStats so the virtual
+// cluster can charge simulated time proportional to the real number of
+// nodes visited and distances computed.
+package kdtree
+
+import (
+	"math"
+
+	"sparkdbscan/internal/geom"
+)
+
+// SearchStats accumulates the work performed by one or more queries.
+// The cost model converts these counts into simulated time.
+type SearchStats struct {
+	NodesVisited int64 // tree nodes touched (internal + leaf)
+	DistComps    int64 // full d-dimensional distance computations
+	Reported     int64 // neighbours returned
+}
+
+// Add accumulates other into s.
+func (s *SearchStats) Add(other SearchStats) {
+	s.NodesVisited += other.NodesVisited
+	s.DistComps += other.DistComps
+	s.Reported += other.Reported
+}
+
+// Index is the neighbourhood-query interface DBSCAN runs against. Both
+// *Tree and *BruteForce satisfy it.
+type Index interface {
+	// Radius appends to out the indices of all points within eps
+	// (Euclidean) of q, in unspecified order, and returns the extended
+	// slice. stats may be nil.
+	Radius(q []float64, eps float64, out []int32, stats *SearchStats) []int32
+	// RadiusLimit is Radius but stops after max neighbours have been
+	// found ("pruning branches"). The result is a subset of the true
+	// neighbourhood; which subset depends on tree layout.
+	RadiusLimit(q []float64, eps float64, max int, out []int32, stats *SearchStats) []int32
+	// RadiusCount returns the size of the eps-neighbourhood of q.
+	RadiusCount(q []float64, eps float64, stats *SearchStats) int
+}
+
+const defaultLeafSize = 16
+
+type node struct {
+	// splitDim is -1 for leaves. For internal nodes, points with
+	// coord[splitDim] <= splitVal are in the left subtree.
+	splitDim   int32
+	left       int32 // node index; leaf: unused
+	right      int32
+	start, end int32 // leaf: range into Tree.order
+	splitVal   float64
+}
+
+// Tree is a static bucketed kd-tree over a dataset. It is immutable
+// after Build and safe for concurrent queries.
+type Tree struct {
+	ds       *geom.Dataset
+	nodes    []node
+	order    []int32 // permutation of point indices; leaves own sub-ranges
+	root     int32
+	leafSize int
+	buildOps int64
+}
+
+// Build constructs a tree over ds with the default leaf size.
+func Build(ds *geom.Dataset) *Tree { return BuildLeafSize(ds, defaultLeafSize) }
+
+// BuildLeafSize constructs a tree whose leaves hold at most leafSize
+// points. Splits are made at the median of the widest-spread dimension,
+// which keeps the tree balanced (depth O(log n)) even for clustered
+// inputs.
+func BuildLeafSize(ds *geom.Dataset, leafSize int) *Tree {
+	if leafSize < 1 {
+		leafSize = 1
+	}
+	n := ds.Len()
+	t := &Tree{
+		ds:       ds,
+		order:    make([]int32, n),
+		leafSize: leafSize,
+	}
+	for i := range t.order {
+		t.order[i] = int32(i)
+	}
+	if n == 0 {
+		t.root = -1
+		return t
+	}
+	t.nodes = make([]node, 0, 2*(n/leafSize+1))
+	t.root = t.build(0, int32(n))
+	return t
+}
+
+// build recursively organizes order[lo:hi] and returns the node index.
+func (t *Tree) build(lo, hi int32) int32 {
+	t.buildOps += int64(hi - lo) // spread scan + partition work at this node
+	if int(hi-lo) <= t.leafSize {
+		t.nodes = append(t.nodes, node{splitDim: -1, start: lo, end: hi})
+		return int32(len(t.nodes) - 1)
+	}
+	dim, spread := t.widestDim(lo, hi)
+	if spread == 0 {
+		// All points in this range are identical; no split can separate
+		// them. Store one (possibly oversized) leaf.
+		t.nodes = append(t.nodes, node{splitDim: -1, start: lo, end: hi})
+		return int32(len(t.nodes) - 1)
+	}
+	mid := (lo + hi) / 2
+	t.selectNth(lo, hi, mid, int(dim))
+	splitVal := t.coord(t.order[mid], int(dim))
+	// Reserve our slot before recursing so children get higher indices.
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{splitDim: dim, splitVal: splitVal})
+	left := t.build(lo, mid)
+	right := t.build(mid, hi)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+func (t *Tree) coord(p int32, dim int) float64 {
+	return t.ds.Coords[int(p)*t.ds.Dim+dim]
+}
+
+// widestDim scans order[lo:hi] and returns the dimension with the
+// largest spread together with that spread.
+func (t *Tree) widestDim(lo, hi int32) (int32, float64) {
+	d := t.ds.Dim
+	mins := make([]float64, d)
+	maxs := make([]float64, d)
+	first := t.ds.At(t.order[lo])
+	copy(mins, first)
+	copy(maxs, first)
+	for i := lo + 1; i < hi; i++ {
+		p := t.ds.At(t.order[i])
+		for j, v := range p {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	best, bestSpread := 0, maxs[0]-mins[0]
+	for j := 1; j < d; j++ {
+		if s := maxs[j] - mins[j]; s > bestSpread {
+			best, bestSpread = j, s
+		}
+	}
+	return int32(best), bestSpread
+}
+
+// selectNth partially sorts order[lo:hi] so that order[nth] holds the
+// element of rank nth by coordinate dim (Hoare quickselect with
+// median-of-three pivots).
+func (t *Tree) selectNth(lo, hi, nth int32, dim int) {
+	for hi-lo > 1 {
+		// Median-of-three pivot.
+		a, b, c := t.coord(t.order[lo], dim), t.coord(t.order[(lo+hi)/2], dim), t.coord(t.order[hi-1], dim)
+		pivot := median3(a, b, c)
+		i, j := lo, hi-1
+		for i <= j {
+			for t.coord(t.order[i], dim) < pivot {
+				i++
+			}
+			for t.coord(t.order[j], dim) > pivot {
+				j--
+			}
+			if i <= j {
+				t.order[i], t.order[j] = t.order[j], t.order[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case nth <= j:
+			hi = j + 1
+		case nth >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+}
+
+func median3(a, b, c float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+	}
+	if a > b {
+		b = a
+	}
+	return b
+}
+
+// Size returns the number of points indexed.
+func (t *Tree) Size() int { return len(t.order) }
+
+// BuildOps returns the metered construction work: the sum of subrange
+// sizes over all created nodes, i.e. the Θ(n log n) term the cost model
+// prices when the driver builds the tree.
+func (t *Tree) BuildOps() int64 { return t.buildOps }
+
+// NodeCount returns the number of tree nodes (internal + leaf).
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// Depth returns the maximum root-to-leaf depth (1 for a single leaf).
+func (t *Tree) Depth() int {
+	if t.root < 0 {
+		return 0
+	}
+	return t.depth(t.root)
+}
+
+func (t *Tree) depth(ni int32) int {
+	nd := &t.nodes[ni]
+	if nd.splitDim < 0 {
+		return 1
+	}
+	l, r := t.depth(nd.left), t.depth(nd.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// MemoryBytes estimates the broadcast payload size of the tree, used by
+// the cost model when the driver ships the tree to executors.
+func (t *Tree) MemoryBytes() int64 {
+	return int64(len(t.nodes))*40 + int64(len(t.order))*4
+}
+
+// Radius implements Index.
+func (t *Tree) Radius(q []float64, eps float64, out []int32, stats *SearchStats) []int32 {
+	return t.search(q, eps, -1, out, stats)
+}
+
+// RadiusLimit implements Index.
+func (t *Tree) RadiusLimit(q []float64, eps float64, max int, out []int32, stats *SearchStats) []int32 {
+	if max < 0 {
+		max = 0
+	}
+	return t.search(q, eps, max, out, stats)
+}
+
+// RadiusCount implements Index.
+func (t *Tree) RadiusCount(q []float64, eps float64, stats *SearchStats) int {
+	if t.root < 0 {
+		return 0
+	}
+	var local SearchStats
+	count := t.count(t.root, q, eps, eps*eps, &local)
+	local.Reported = int64(count)
+	if stats != nil {
+		stats.Add(local)
+	}
+	return count
+}
+
+// search walks the tree; max < 0 means unlimited.
+func (t *Tree) search(q []float64, eps float64, max int, out []int32, stats *SearchStats) []int32 {
+	if t.root < 0 || max == 0 {
+		return out
+	}
+	var local SearchStats
+	before := len(out)
+	out = t.radius(t.root, q, eps, eps*eps, max, out, &local)
+	local.Reported = int64(len(out) - before)
+	if stats != nil {
+		stats.Add(local)
+	}
+	return out
+}
+
+func (t *Tree) radius(ni int32, q []float64, eps, eps2 float64, max int, out []int32, stats *SearchStats) []int32 {
+	stats.NodesVisited++
+	nd := &t.nodes[ni]
+	if nd.splitDim < 0 {
+		for i := nd.start; i < nd.end; i++ {
+			p := t.order[i]
+			stats.DistComps++
+			if geom.SqDist(q, t.ds.At(p)) <= eps2 {
+				out = append(out, p)
+				if max >= 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+		return out
+	}
+	d := q[nd.splitDim] - nd.splitVal
+	// Descend the near side first so RadiusLimit fills up with close
+	// neighbours before the cap triggers.
+	first, second := nd.left, nd.right
+	if d > 0 {
+		first, second = nd.right, nd.left
+	}
+	out = t.radius(first, q, eps, eps2, max, out, stats)
+	if max >= 0 && len(out) >= max {
+		return out
+	}
+	if math.Abs(d) <= eps {
+		out = t.radius(second, q, eps, eps2, max, out, stats)
+	}
+	return out
+}
+
+func (t *Tree) count(ni int32, q []float64, eps, eps2 float64, stats *SearchStats) int {
+	stats.NodesVisited++
+	nd := &t.nodes[ni]
+	if nd.splitDim < 0 {
+		c := 0
+		for i := nd.start; i < nd.end; i++ {
+			stats.DistComps++
+			if geom.SqDist(q, t.ds.At(t.order[i])) <= eps2 {
+				c++
+			}
+		}
+		return c
+	}
+	d := q[nd.splitDim] - nd.splitVal
+	c := 0
+	if d <= eps {
+		c += t.count(nd.left, q, eps, eps2, stats)
+	}
+	if -d <= eps {
+		c += t.count(nd.right, q, eps, eps2, stats)
+	}
+	return c
+}
+
+// Nearest returns the index of the point closest to q and its distance.
+// It returns (-1, +Inf) on an empty tree. DBSCAN does not need it, but
+// the geospatial example does.
+func (t *Tree) Nearest(q []float64) (int32, float64) {
+	if t.root < 0 {
+		return -1, math.Inf(1)
+	}
+	best := int32(-1)
+	bestSq := math.Inf(1)
+	t.nearest(t.root, q, &best, &bestSq)
+	return best, math.Sqrt(bestSq)
+}
+
+func (t *Tree) nearest(ni int32, q []float64, best *int32, bestSq *float64) {
+	nd := &t.nodes[ni]
+	if nd.splitDim < 0 {
+		for i := nd.start; i < nd.end; i++ {
+			p := t.order[i]
+			if sq := geom.SqDist(q, t.ds.At(p)); sq < *bestSq {
+				*best, *bestSq = p, sq
+			}
+		}
+		return
+	}
+	d := q[nd.splitDim] - nd.splitVal
+	first, second := nd.left, nd.right
+	if d > 0 {
+		first, second = nd.right, nd.left
+	}
+	t.nearest(first, q, best, bestSq)
+	if d*d < *bestSq {
+		t.nearest(second, q, best, bestSq)
+	}
+}

@@ -1,0 +1,220 @@
+package mapreduce
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"sparkdbscan/internal/simtime"
+)
+
+func wordCountJob() Job[string, string, int, Pair[string, int]] {
+	return Job[string, string, int, Pair[string, int]]{
+		Name: "wordcount",
+		Map: func(split int, input []string, emit func(string, int), w *simtime.Work) error {
+			for _, line := range input {
+				for _, word := range strings.Fields(line) {
+					emit(word, 1)
+					w.Elems++
+				}
+			}
+			return nil
+		},
+		Reduce: func(key string, values []int, emit func(Pair[string, int]), w *simtime.Work) error {
+			sum := 0
+			for _, v := range values {
+				sum += v
+				w.Elems++
+			}
+			emit(Pair[string, int]{key, sum})
+			return nil
+		},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	splits := [][]string{
+		{"a b a", "c"},
+		{"b b", "a c"},
+	}
+	out, rep, err := Run(Config{Cores: 2}, wordCountJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	want := []Pair[string, int]{{"a", 3}, {"b", 3}, {"c", 2}}
+	if len(out) != len(want) {
+		t.Fatalf("got %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+	if rep.MapTasks != 2 || rep.Pairs != 8 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestAllKeysReachOneReducer(t *testing.T) {
+	// Values for the same key emitted by different map tasks must meet
+	// in a single reduce call.
+	job := Job[int, int, int, Pair[int, int]]{
+		Name: "collide",
+		Map: func(split int, input []int, emit func(int, int), w *simtime.Work) error {
+			for _, v := range input {
+				emit(42, v)
+			}
+			return nil
+		},
+		Reduce: func(key int, values []int, emit func(Pair[int, int]), w *simtime.Work) error {
+			emit(Pair[int, int]{key, len(values)})
+			return nil
+		},
+	}
+	out, _, err := Run(Config{Cores: 4, ReduceTasks: 8}, job, [][]int{{1, 2}, {3}, {4, 5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Value != 6 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestPhasesAreBarriered(t *testing.T) {
+	_, rep, err := Run(Config{Cores: 1, TaskLaunchOverhead: 1}, wordCountJob(),
+		[][]string{{"x"}, {"y"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MapSeconds <= 0 || rep.ReduceSeconds <= 0 {
+		t.Fatalf("phase times missing: %+v", rep)
+	}
+	if rep.SetupSeconds <= 0 {
+		t.Fatalf("job setup overhead missing: %+v", rep)
+	}
+	if rep.Total() != rep.SetupSeconds+rep.MapSeconds+rep.ReduceSeconds {
+		t.Fatal("Total is not the barriered sum")
+	}
+	// Two map tasks at >=1 s launch each on one core: >= 2 s map phase.
+	if rep.MapSeconds < 2 {
+		t.Fatalf("map phase %g s, expected >= 2 (JVM launches)", rep.MapSeconds)
+	}
+}
+
+func TestIntermediateCostsCharged(t *testing.T) {
+	_, rep, err := Run(Config{Cores: 2}, wordCountJob(), [][]string{{"a a a a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Work.DiskWriteBytes == 0 || rep.Work.DiskReadBytes == 0 || rep.Work.NetBytes == 0 {
+		t.Fatalf("intermediate data costs missing: %+v", rep.Work)
+	}
+	if rep.Work.SortComps == 0 {
+		t.Fatal("mandatory sort not charged")
+	}
+	if rep.IntermediateBytes != 4*16 {
+		t.Fatalf("IntermediateBytes = %d", rep.IntermediateBytes)
+	}
+}
+
+func TestMoreCoresFasterPhases(t *testing.T) {
+	splits := make([][]string, 16)
+	for i := range splits {
+		splits[i] = []string{"lorem ipsum dolor sit amet consectetur"}
+	}
+	run := func(cores int) float64 {
+		_, rep, err := Run(Config{Cores: cores, Seed: 3}, wordCountJob(), splits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Total()
+	}
+	if t1, t8 := run(1), run(8); t1 <= t8 {
+		t.Fatalf("no speedup: %g vs %g", t1, t8)
+	}
+}
+
+func TestCombinerShrinksIntermediateData(t *testing.T) {
+	splits := [][]string{{"a a a a a a b"}, {"a a b b b b"}}
+	job := wordCountJob()
+	_, plain, err := Run(Config{Cores: 2, Seed: 1}, job, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Combine = func(key string, values []int, w *simtime.Work) int {
+		sum := 0
+		for _, v := range values {
+			sum += v
+			w.Elems++
+		}
+		return sum
+	}
+	out, combined, err := Run(Config{Cores: 2, Seed: 1}, job, splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Results unchanged.
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if len(out) != 2 || out[0].Value != 8 || out[1].Value != 5 {
+		t.Fatalf("combiner changed the answer: %v", out)
+	}
+	// Intermediate volume collapses from 13 pairs to <= 2 per mapper.
+	if combined.Pairs >= plain.Pairs || combined.Pairs > 4 {
+		t.Fatalf("combiner pairs %d vs plain %d", combined.Pairs, plain.Pairs)
+	}
+	if combined.IntermediateBytes >= plain.IntermediateBytes {
+		t.Fatal("combiner did not shrink intermediate bytes")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	job := wordCountJob()
+	job.Map = func(split int, input []string, emit func(string, int), w *simtime.Work) error {
+		return errors.New("map boom")
+	}
+	if _, _, err := Run(Config{}, job, [][]string{{"x"}}); err == nil {
+		t.Fatal("map error swallowed")
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	job := wordCountJob()
+	job.Reduce = func(key string, values []int, emit func(Pair[string, int]), w *simtime.Work) error {
+		return errors.New("reduce boom")
+	}
+	if _, _, err := Run(Config{}, job, [][]string{{"x"}}); err == nil {
+		t.Fatal("reduce error swallowed")
+	}
+}
+
+func TestMissingFunctionsRejected(t *testing.T) {
+	if _, _, err := Run(Config{}, Job[int, int, int, int]{Name: "nil"}, nil); err == nil {
+		t.Fatal("nil Map/Reduce accepted")
+	}
+}
+
+func TestDeterministicTiming(t *testing.T) {
+	splits := [][]string{{"a b c"}, {"d e f"}, {"a d"}}
+	run := func() float64 {
+		_, rep, err := Run(Config{Cores: 2, Seed: 9}, wordCountJob(), splits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Total()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic timing: %g vs %g", a, b)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, rep, err := Run(Config{Cores: 2}, wordCountJob(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || rep.Pairs != 0 {
+		t.Fatalf("empty job produced %v", out)
+	}
+}

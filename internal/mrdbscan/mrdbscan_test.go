@@ -1,0 +1,197 @@
+package mrdbscan
+
+import (
+	"testing"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/eval"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/mapreduce"
+	"sparkdbscan/internal/quest"
+)
+
+var tableParams = dbscan.Params{Eps: quest.TableIEps, MinPts: quest.TableIMinPts}
+
+func TestMatchesSequentialDBSCAN(t *testing.T) {
+	spec, err := quest.ByName("c10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := quest.Generate(spec.Scaled(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := kdtree.Build(ds)
+	ref, err := dbscan.Run(ds, tree, tableParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ds, Config{
+		Params: tableParams,
+		MR:     mapreduce.Config{Cores: 4, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eval.EquivCheck(ds, ref, res.Labels, tableParams, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Exact() {
+		t.Fatalf("MR-DBSCAN != sequential: %v", rep)
+	}
+	if res.NumClusters != ref.NumClusters {
+		t.Fatalf("clusters %d != %d", res.NumClusters, ref.NumClusters)
+	}
+	if res.Rounds < 2 {
+		t.Fatalf("suspiciously few rounds: %d", res.Rounds)
+	}
+}
+
+func TestSmallGeometry(t *testing.T) {
+	// Two clusters plus noise in 2-d, computed exactly.
+	ds := quickDataset([][2]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1},
+		{100, 100}, {101, 100}, {100, 101}, {101, 101},
+		{50, 50},
+	})
+	params := dbscan.Params{Eps: 2, MinPts: 3}
+	res, err := Run(ds, Config{Params: params, Splits: 3, MR: mapreduce.Config{Cores: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 || res.NumNoise != 1 {
+		t.Fatalf("clusters=%d noise=%d", res.NumClusters, res.NumNoise)
+	}
+	if res.Labels[8] != dbscan.Noise {
+		t.Fatal("lone point not noise")
+	}
+	if res.Labels[0] != res.Labels[3] || res.Labels[4] != res.Labels[7] {
+		t.Fatalf("clusters split: %v", res.Labels)
+	}
+	if res.Labels[0] == res.Labels[4] {
+		t.Fatal("clusters merged")
+	}
+}
+
+func TestRoundsGrowWithChainLength(t *testing.T) {
+	// A long chain needs ~length/1 hops of label propagation; a
+	// compact blob converges in a couple of rounds.
+	var chain [][2]float64
+	for i := 0; i < 40; i++ {
+		chain = append(chain, [2]float64{float64(i), 0})
+	}
+	dsChain := quickDataset(chain)
+	resChain, err := Run(dsChain, Config{
+		Params: dbscan.Params{Eps: 1.5, MinPts: 2},
+		Splits: 2, MR: mapreduce.Config{Cores: 2}, MaxRounds: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resChain.NumClusters != 1 {
+		t.Fatalf("chain clusters = %d", resChain.NumClusters)
+	}
+	var blob [][2]float64
+	for i := 0; i < 40; i++ {
+		blob = append(blob, [2]float64{float64(i % 7), float64(i / 7)})
+	}
+	resBlob, err := Run(quickDataset(blob), Config{
+		Params: dbscan.Params{Eps: 3, MinPts: 2},
+		Splits: 2, MR: mapreduce.Config{Cores: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resChain.Rounds <= resBlob.Rounds {
+		t.Fatalf("chain rounds (%d) not greater than blob rounds (%d)",
+			resChain.Rounds, resBlob.Rounds)
+	}
+}
+
+func TestTimingAccumulatesAcrossRounds(t *testing.T) {
+	ds := quickDataset([][2]float64{{0, 0}, {1, 0}, {2, 0}, {3, 0}})
+	res, err := Run(ds, Config{
+		Params: dbscan.Params{Eps: 1.5, MinPts: 2},
+		Splits: 2, MR: mapreduce.Config{Cores: 2, TaskLaunchOverhead: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSeconds < float64(res.Rounds) {
+		t.Fatalf("total %g s for %d rounds with 1 s launches", res.TotalSeconds, res.Rounds)
+	}
+	if res.Work.HDFSBytes == 0 || res.Work.DiskWriteBytes == 0 || res.Work.TreeBuildOps == 0 {
+		t.Fatalf("per-round recomputation not charged: %+v", res.Work)
+	}
+	// The dataset is re-read by every map task every round.
+	minHDFS := int64(res.Rounds) * ds.SizeBytes()
+	if res.Work.HDFSBytes < minHDFS {
+		t.Fatalf("HDFS bytes %d < %d (rounds x dataset)", res.Work.HDFSBytes, minHDFS)
+	}
+}
+
+func TestCombinerSameResultLessData(t *testing.T) {
+	spec, err := quest.ByName("c10k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := quest.Generate(spec.Scaled(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Params: tableParams, MR: mapreduce.Config{Cores: 4, Seed: 1}}
+	plain, err := Run(ds, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withC := base
+	withC.UseCombiner = true
+	combined, err := Run(ds, withC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NumClusters != combined.NumClusters || plain.NumNoise != combined.NumNoise {
+		t.Fatalf("combiner changed the clustering: %d/%d vs %d/%d",
+			plain.NumClusters, plain.NumNoise, combined.NumClusters, combined.NumNoise)
+	}
+	for i := range plain.Labels {
+		if plain.Labels[i] != combined.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+	if combined.Work.DiskWriteBytes >= plain.Work.DiskWriteBytes {
+		t.Fatalf("combiner did not shrink spills: %d vs %d",
+			combined.Work.DiskWriteBytes, plain.Work.DiskWriteBytes)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds := quickDataset([][2]float64{{0, 0}})
+	if _, err := Run(ds, Config{Params: dbscan.Params{Eps: 0, MinPts: 1}}); err == nil {
+		t.Fatal("bad params accepted")
+	}
+}
+
+func TestMaxRoundsEnforced(t *testing.T) {
+	var chain [][2]float64
+	for i := 0; i < 30; i++ {
+		chain = append(chain, [2]float64{float64(i), 0})
+	}
+	_, err := Run(quickDataset(chain), Config{
+		Params: dbscan.Params{Eps: 1.5, MinPts: 2},
+		Splits: 2, MR: mapreduce.Config{Cores: 2}, MaxRounds: 2,
+	})
+	if err == nil {
+		t.Fatal("MaxRounds not enforced")
+	}
+}
+
+func quickDataset(pts [][2]float64) *geom.Dataset {
+	ds := geom.NewDataset(len(pts), 2)
+	for i, p := range pts {
+		ds.Set(int32(i), []float64{p[0], p[1]})
+	}
+	return ds
+}

@@ -1,0 +1,233 @@
+package quest
+
+import (
+	"testing"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/eval"
+	"sparkdbscan/internal/kdtree"
+)
+
+func TestTableIPresets(t *testing.T) {
+	specs := TableI()
+	if len(specs) != 5 {
+		t.Fatalf("TableI has %d entries, want 5", len(specs))
+	}
+	wantN := map[string]int{
+		"c10k": 10_000, "c100k": 102_400, "r10k": 10_000, "r100k": 102_400, "r1m": 1_024_000,
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if s.Dim != 10 {
+			t.Fatalf("%s: dim %d, want 10 (Table I)", s.Name, s.Dim)
+		}
+		if s.N != wantN[s.Name] {
+			t.Fatalf("%s: N=%d, want %d", s.Name, s.N, wantN[s.Name])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("r100k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "r100k" || s.Family != Scattered {
+		t.Fatalf("ByName returned %+v", s)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	spec := Spec{Name: "t", Family: Clustered, N: 1000, Dim: 4, NumClusters: 5,
+		StdDev: 5, NoiseFrac: 0.1, DomainMin: 0, DomainMax: 500, Seed: 1}
+	ds, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1000 || ds.Dim != 4 {
+		t.Fatalf("shape (%d,%d)", ds.Len(), ds.Dim)
+	}
+	if len(ds.Label) != 1000 {
+		t.Fatal("missing ground-truth labels")
+	}
+	noise := 0
+	clusters := make(map[int32]int)
+	for _, l := range ds.Label {
+		if l == NoiseLabel {
+			noise++
+		} else {
+			clusters[l]++
+		}
+	}
+	if noise != 100 {
+		t.Fatalf("noise = %d, want 100", noise)
+	}
+	if len(clusters) != 5 {
+		t.Fatalf("found %d planted clusters, want 5", len(clusters))
+	}
+	for c, size := range clusters {
+		if size < 100 {
+			t.Fatalf("cluster %d has only %d points", c, size)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec, _ := ByName("r10k")
+	spec = spec.Scaled(1000)
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatalf("coord %d differs", i)
+		}
+	}
+	for i := range a.Label {
+		if a.Label[i] != b.Label[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+}
+
+func TestSeedChangesData(t *testing.T) {
+	spec := Spec{Name: "t", Family: Clustered, N: 100, Dim: 3, NumClusters: 2,
+		StdDev: 5, NoiseFrac: 0, DomainMin: 0, DomainMax: 500, Seed: 1}
+	a, _ := Generate(spec)
+	spec.Seed = 2
+	b, _ := Generate(spec)
+	same := true
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestOrderIsShuffled(t *testing.T) {
+	// The partial-cluster growth in Figure 6 depends on index ranges
+	// being spatially random, so consecutive points must usually come
+	// from different planted clusters.
+	spec, _ := ByName("c10k")
+	spec = spec.Scaled(2000)
+	ds, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAsNext := 0
+	for i := 0; i+1 < ds.Len(); i++ {
+		if ds.Label[i] == ds.Label[i+1] {
+			sameAsNext++
+		}
+	}
+	// Unshuffled data would give ~100% adjacency; shuffled with k
+	// clusters gives ~1/k.
+	if frac := float64(sameAsNext) / float64(ds.Len()-1); frac > 0.8 {
+		t.Fatalf("points not shuffled: %.0f%% same-cluster adjacency", frac*100)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	base := Spec{Name: "t", Family: Clustered, N: 100, Dim: 2, NumClusters: 2,
+		StdDev: 5, NoiseFrac: 0.1, DomainMin: 0, DomainMax: 100, Seed: 1}
+	bad := []func(*Spec){
+		func(s *Spec) { s.N = 0 },
+		func(s *Spec) { s.Dim = 0 },
+		func(s *Spec) { s.NumClusters = 0 },
+		func(s *Spec) { s.StdDev = 0 },
+		func(s *Spec) { s.NoiseFrac = 1 },
+		func(s *Spec) { s.NoiseFrac = -0.1 },
+		func(s *Spec) { s.DomainMax = s.DomainMin },
+	}
+	for i, mutate := range bad {
+		s := base
+		mutate(&s)
+		if _, err := Generate(s); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	spec, _ := ByName("r1m")
+	small := spec.Scaled(102_400)
+	if small.N != 102_400 {
+		t.Fatalf("Scaled N = %d", small.N)
+	}
+	// Density preserved: points per cluster roughly constant.
+	origPer := float64(spec.N) / float64(spec.NumClusters)
+	smallPer := float64(small.N) / float64(small.NumClusters)
+	if smallPer < origPer*0.7 || smallPer > origPer*1.5 {
+		t.Fatalf("Scaled changed density: %g vs %g points/cluster", smallPer, origPer)
+	}
+	// Scaling up is a no-op.
+	if up := spec.Scaled(spec.N * 2); up.N != spec.N {
+		t.Fatal("Scaled enlarged the spec")
+	}
+}
+
+// TestDBSCANRecoversPlantedClusters is the calibration check: Table I's
+// parameters (eps=25, minpts=5) must recover the planted structure on
+// both families, because every figure assumes the clustering is
+// meaningful.
+func TestDBSCANRecoversPlantedClusters(t *testing.T) {
+	for _, name := range []string{"c10k", "r10k"} {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dbscan.Run(ds, kdtree.Build(ds), dbscan.Params{Eps: TableIEps, MinPts: TableIMinPts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumClusters < spec.NumClusters || res.NumClusters > spec.NumClusters*3 {
+			t.Fatalf("%s: found %d clusters for %d planted", name, res.NumClusters, spec.NumClusters)
+		}
+		ari, err := eval.AdjustedRandIndex(res.Labels, ds.Label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The clustered family must match ground truth almost exactly;
+		// the scattered family legitimately sheds sparse cluster tails
+		// to noise (that spread is what fragments its partitions in
+		// Figure 6), so its bar is lower.
+		minARI := 0.95
+		if spec.Family == Scattered {
+			minARI = 0.85
+		}
+		if ari < minARI {
+			t.Fatalf("%s: ARI %.3f < %.2f against ground truth", name, ari, minARI)
+		}
+		// Planted noise must overwhelmingly stay noise.
+		noiseKept, noiseTotal := 0, 0
+		for i, l := range ds.Label {
+			if l == NoiseLabel {
+				noiseTotal++
+				if res.Labels[i] == dbscan.Noise {
+					noiseKept++
+				}
+			}
+		}
+		if noiseTotal > 0 && float64(noiseKept)/float64(noiseTotal) < 0.95 {
+			t.Fatalf("%s: only %d/%d planted noise stayed noise", name, noiseKept, noiseTotal)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package simtime defines the work ledger and cost model that turn
+// *metered real operation counts* into simulated seconds.
+//
+// The paper's evaluation runs on a Cray XC30 with up to 512 cores; this
+// reproduction runs on whatever machine executes the tests. To recover
+// the paper's timing figures, every task in the Spark/MapReduce
+// substrates executes for real (results are exact) while counting the
+// operations it performs — kd-tree nodes visited, distance
+// computations, queue and hashtable operations, bytes (de)serialized,
+// simulated disk and network traffic. A CostModel converts counts into
+// seconds, and the vcluster package schedules those task durations onto
+// p virtual cores.
+//
+// The constants in DefaultModel are calibrated ONCE against the paper's
+// anchor ratios (Spark ≈ 178 s on 10k points at 1 core; MapReduce 9–16×
+// slower; kd-tree build 0.05–0.5% of the total) and never adjusted per
+// figure; every curve shape must emerge from the metered counts.
+package simtime
+
+// Work is an additive ledger of operation counts. The zero value is an
+// empty ledger.
+type Work struct {
+	KDNodes        int64 // kd-tree nodes visited during queries
+	DistComps      int64 // full d-dimensional distance computations
+	QueueOps       int64 // FIFO push/pop during cluster expansion
+	HashOps        int64 // visited/membership table operations
+	Elems          int64 // generic per-element processing (RDD ops)
+	TreeBuildOps   int64 // per-point-per-level work while building the kd-tree
+	MergeOps       int64 // driver-side partial-cluster merge operations
+	SortComps      int64 // comparisons in MapReduce's sort phase
+	SerBytes       int64 // serialization/deserialization payload bytes
+	DiskWriteBytes int64 // simulated local-disk writes (MapReduce spill)
+	DiskReadBytes  int64 // simulated local-disk reads
+	NetBytes       int64 // simulated cross-node transfer (shuffle/remote read)
+	HDFSBytes      int64 // simulated distributed-filesystem reads
+	TaskLaunches   int64 // scheduler task-launch events
+}
+
+// Add accumulates o into w.
+func (w *Work) Add(o Work) {
+	w.KDNodes += o.KDNodes
+	w.DistComps += o.DistComps
+	w.QueueOps += o.QueueOps
+	w.HashOps += o.HashOps
+	w.Elems += o.Elems
+	w.TreeBuildOps += o.TreeBuildOps
+	w.MergeOps += o.MergeOps
+	w.SortComps += o.SortComps
+	w.SerBytes += o.SerBytes
+	w.DiskWriteBytes += o.DiskWriteBytes
+	w.DiskReadBytes += o.DiskReadBytes
+	w.NetBytes += o.NetBytes
+	w.HDFSBytes += o.HDFSBytes
+	w.TaskLaunches += o.TaskLaunches
+}
+
+// IsZero reports whether no work has been recorded.
+func (w Work) IsZero() bool { return w == Work{} }
+
+// CostModel maps each Work unit to seconds. All fields are seconds per
+// single unit (per node, per byte, ...).
+type CostModel struct {
+	KDNode        float64
+	DistComp      float64
+	QueueOp       float64
+	HashOp        float64
+	Elem          float64
+	TreeBuildOp   float64
+	MergeOp       float64
+	SortComp      float64
+	SerByte       float64
+	BcastDeser    float64 // per byte: executor-side broadcast deserialization
+	DiskWriteByte float64
+	DiskReadByte  float64
+	NetByte       float64
+	HDFSByte      float64
+	TaskLaunch    float64
+}
+
+// DefaultModel returns the calibrated cost model. Rationale for the
+// anchors, in units of the 2013-era JVM the paper ran on:
+//
+//   - DistComp 10 µs: a 10-dimensional distance through boxed Java
+//     arrays, virtual calls and GC pressure. The paper reports 178 s
+//     for 10k points on one core (Fig. 7), i.e. ~18 ms per point — its
+//     per-operation constants are enormous by native-code standards,
+//     and all compute constants here carry the same ~5x "JVM factor"
+//     so that the figures land at the paper's absolute scale. This
+//     constant dominates DBSCAN time.
+//   - Disk at ~50 MB/s effective (write) and ~65 MB/s (read), network
+//     at ~100 MB/s: mid-2010s HDD + GbE, which produces MapReduce's
+//     9–16× slowdown once intermediate data makes two disk trips and
+//     one network trip.
+//   - Serialization at ~100 MB/s: Java object serialization.
+//   - Broadcast deserialization at ~5 MB/s: an executor rebuilding a
+//     large object graph (boxed points + kd-tree nodes) from the
+//     broadcast payload. This per-executor fixed cost is one of the
+//     two mechanisms (with straggler tails) behind the paper's
+//     efficiency decay at 512 cores.
+//   - TaskLaunch 15 ms: Spark's documented task scheduling overhead.
+func DefaultModel() *CostModel {
+	return &CostModel{
+		KDNode:        2e-6,
+		DistComp:      1e-5,
+		QueueOp:       6e-7,
+		HashOp:        9e-7,
+		Elem:          1.25e-6,
+		TreeBuildOp:   8e-7,
+		MergeOp:       1.25e-6,
+		SortComp:      2e-6,
+		SerByte:       1e-8,
+		BcastDeser:    2e-7,
+		DiskWriteByte: 2e-8,
+		DiskReadByte:  1.5e-8,
+		NetByte:       1e-8,
+		HDFSByte:      1e-8,
+		TaskLaunch:    15e-3,
+	}
+}
+
+// Seconds converts a ledger into simulated seconds under m.
+func (m *CostModel) Seconds(w Work) float64 {
+	return float64(w.KDNodes)*m.KDNode +
+		float64(w.DistComps)*m.DistComp +
+		float64(w.QueueOps)*m.QueueOp +
+		float64(w.HashOps)*m.HashOp +
+		float64(w.Elems)*m.Elem +
+		float64(w.TreeBuildOps)*m.TreeBuildOp +
+		float64(w.MergeOps)*m.MergeOp +
+		float64(w.SortComps)*m.SortComp +
+		float64(w.SerBytes)*m.SerByte +
+		float64(w.DiskWriteBytes)*m.DiskWriteByte +
+		float64(w.DiskReadBytes)*m.DiskReadByte +
+		float64(w.NetBytes)*m.NetByte +
+		float64(w.HDFSBytes)*m.HDFSByte +
+		float64(w.TaskLaunches)*m.TaskLaunch
+}

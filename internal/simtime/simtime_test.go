@@ -1,0 +1,89 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	a := Work{KDNodes: 1, DistComps: 2, QueueOps: 3, HashOps: 4, Elems: 5,
+		TreeBuildOps: 6, MergeOps: 7, SortComps: 8, SerBytes: 9,
+		DiskWriteBytes: 10, DiskReadBytes: 11, NetBytes: 12, HDFSBytes: 13, TaskLaunches: 14}
+	var w Work
+	w.Add(a)
+	w.Add(a)
+	if w != (Work{KDNodes: 2, DistComps: 4, QueueOps: 6, HashOps: 8, Elems: 10,
+		TreeBuildOps: 12, MergeOps: 14, SortComps: 16, SerBytes: 18,
+		DiskWriteBytes: 20, DiskReadBytes: 22, NetBytes: 24, HDFSBytes: 26, TaskLaunches: 28}) {
+		t.Fatalf("Add missed a field: %+v", w)
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var w Work
+	if !w.IsZero() {
+		t.Fatal("zero value not zero")
+	}
+	w.Elems = 1
+	if w.IsZero() {
+		t.Fatal("non-zero reported zero")
+	}
+}
+
+func TestSecondsLinear(t *testing.T) {
+	m := DefaultModel()
+	w := Work{DistComps: 1000, SerBytes: 1 << 20}
+	s1 := m.Seconds(w)
+	double := w
+	double.Add(w)
+	s2 := m.Seconds(double)
+	if math.Abs(s2-2*s1) > 1e-12 {
+		t.Fatalf("Seconds not linear: %g vs 2*%g", s2, s1)
+	}
+}
+
+func TestSecondsAdditive(t *testing.T) {
+	check := func(a, b uint32) bool {
+		m := DefaultModel()
+		wa := Work{DistComps: int64(a % 1e6), SerBytes: int64(b % 1e6)}
+		wb := Work{KDNodes: int64(b % 1e5), MergeOps: int64(a % 1e5)}
+		sum := wa
+		sum.Add(wb)
+		return math.Abs(m.Seconds(sum)-(m.Seconds(wa)+m.Seconds(wb))) < 1e-9
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultModelAnchors(t *testing.T) {
+	m := DefaultModel()
+	// All unit costs must be positive.
+	for name, v := range map[string]float64{
+		"KDNode": m.KDNode, "DistComp": m.DistComp, "QueueOp": m.QueueOp,
+		"HashOp": m.HashOp, "Elem": m.Elem, "TreeBuildOp": m.TreeBuildOp,
+		"MergeOp": m.MergeOp, "SortComp": m.SortComp, "SerByte": m.SerByte,
+		"DiskWriteByte": m.DiskWriteByte, "DiskReadByte": m.DiskReadByte,
+		"NetByte": m.NetByte, "HDFSByte": m.HDFSByte, "TaskLaunch": m.TaskLaunch,
+	} {
+		if v <= 0 {
+			t.Fatalf("%s = %g, must be positive", name, v)
+		}
+	}
+	// The calibration ordering the figures depend on: disk writes are
+	// the most expensive byte, network/HDFS the cheapest; a distance
+	// computation costs more than a queue/hash op.
+	if !(m.DiskWriteByte > m.DiskReadByte && m.DiskReadByte > m.NetByte-1e-12) {
+		t.Fatalf("disk/network ordering broken: %g %g %g", m.DiskWriteByte, m.DiskReadByte, m.NetByte)
+	}
+	if m.DistComp <= m.QueueOp || m.DistComp <= m.HashOp {
+		t.Fatal("DistComp must dominate bookkeeping ops")
+	}
+}
+
+func TestZeroWorkZeroSeconds(t *testing.T) {
+	if s := DefaultModel().Seconds(Work{}); s != 0 {
+		t.Fatalf("zero work costs %g", s)
+	}
+}

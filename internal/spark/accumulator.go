@@ -1,0 +1,98 @@
+package spark
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Accumulator is Spark's write-only shared variable: tasks only Add to
+// it, the driver only reads it, and updates are merged with an
+// associative operation. The paper uses an accumulator to "bring back
+// the partial clusters" from executors to the driver (§IV-B).
+//
+// Semantics mirror Spark's guarantee for accumulators updated inside
+// actions: updates from a task attempt are buffered in the TaskContext
+// and merged into the driver value only when that attempt succeeds, so
+// retried tasks never double-count.
+type Accumulator[T any] struct {
+	id    int
+	ctx   *Context
+	merge func(T, T) T
+}
+
+// accumulatorState is the type-erased driver-side value, stored on the
+// Context so commitAccUpdates can merge without knowing T.
+type accumulatorState struct {
+	mu    sync.Mutex
+	value any
+	merge func(cur, upd any) any
+}
+
+// NewAccumulator registers an accumulator with initial value zero and
+// the associative merge function merge.
+func NewAccumulator[T any](ctx *Context, zero T, merge func(T, T) T) *Accumulator[T] {
+	ctx.mu.Lock()
+	id := ctx.nextAccID
+	ctx.nextAccID++
+	ctx.accs[id] = &accumulatorState{
+		value: zero,
+		merge: func(cur, upd any) any { return merge(cur.(T), upd.(T)) },
+	}
+	ctx.mu.Unlock()
+	return &Accumulator[T]{id: id, ctx: ctx, merge: merge}
+}
+
+// Add stages v for merging. It must be called from inside a task (with
+// that task's TaskContext); multiple Adds from one attempt pre-merge
+// locally, matching Spark's per-task accumulator buffers.
+func (a *Accumulator[T]) Add(tc *TaskContext, v T) {
+	for i := range tc.accUpdates {
+		if tc.accUpdates[i].id == a.id {
+			tc.accUpdates[i].value = a.merge(tc.accUpdates[i].value.(T), v)
+			return
+		}
+	}
+	tc.accUpdates = append(tc.accUpdates, stagedAccUpdate{id: a.id, value: v})
+}
+
+// Value returns the merged driver-side value. Call it only after the
+// action that updates the accumulator has completed.
+func (a *Accumulator[T]) Value() T {
+	a.ctx.mu.Lock()
+	st := a.ctx.accs[a.id]
+	a.ctx.mu.Unlock()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.value.(T)
+}
+
+// commitAccUpdates merges a successful attempt's staged updates into
+// the driver values.
+func (c *Context) commitAccUpdates(tc *TaskContext) {
+	for _, upd := range tc.accUpdates {
+		c.mu.Lock()
+		st, ok := c.accs[upd.id]
+		c.mu.Unlock()
+		if !ok {
+			panic(fmt.Sprintf("spark: update for unknown accumulator %d", upd.id))
+		}
+		st.mu.Lock()
+		st.value = st.merge(st.value, upd.value)
+		st.mu.Unlock()
+	}
+}
+
+// CounterAccumulator is the classic int64 counter.
+func CounterAccumulator(ctx *Context) *Accumulator[int64] {
+	return NewAccumulator(ctx, 0, func(a, b int64) int64 { return a + b })
+}
+
+// SliceAccumulator collects elements; the merge concatenates. This is
+// the shape the DBSCAN runner uses to return partial clusters.
+func SliceAccumulator[E any](ctx *Context) *Accumulator[[]E] {
+	return NewAccumulator(ctx, nil, func(a, b []E) []E {
+		out := make([]E, 0, len(a)+len(b))
+		out = append(out, a...)
+		return append(out, b...)
+	})
+}

@@ -1,0 +1,61 @@
+package spark
+
+import "sync/atomic"
+
+// Broadcast is a read-only variable shipped once to every executor and
+// cached there, instead of being serialized into every task closure —
+// the mechanism the paper relies on to give all executors the dataset,
+// the kd-tree, eps, minpts and the partition table (§IV-B).
+//
+// Cost accounting: creating a broadcast charges the driver for one
+// serialization of the payload; the first stage that runs after the
+// broadcast is created pays one deserialization per executor as
+// per-core warmup (every core of an executor waits while its process
+// deserializes the payload).
+type Broadcast[T any] struct {
+	value T
+	id    int
+	bytes int64
+	reads atomic.Int64
+}
+
+// NewBroadcast registers value as a broadcast variable. sizeBytes is
+// the serialized payload size used for cost accounting; helpers such as
+// the dataset and kd-tree expose their sizes for this purpose.
+func NewBroadcast[T any](ctx *Context, value T, sizeBytes int64) *Broadcast[T] {
+	if sizeBytes < 0 {
+		sizeBytes = 0
+	}
+	ctx.mu.Lock()
+	id := ctx.nextRDDID // broadcasts share the id space; uniqueness is all that matters
+	ctx.nextRDDID++
+	// Driver-side serialization cost.
+	ctx.report.DriverWork.SerBytes += sizeBytes
+	if ctx.cfg.Mode == Virtual {
+		ctx.report.DriverSeconds += float64(sizeBytes) * ctx.cfg.Model.SerByte
+	}
+	// Executor-side deserialization: charged as warmup of the next
+	// stage. Spark's TorrentBroadcast distributes peer-to-peer, so the
+	// per-executor cost does not grow with the executor count — but it
+	// also does not shrink with it, which is why wide clusters pay it
+	// as a fixed floor under every core's first task.
+	if ctx.cfg.Mode == Virtual {
+		ctx.warmupPending += float64(sizeBytes) * ctx.cfg.Model.BcastDeser
+	}
+	ctx.mu.Unlock()
+	return &Broadcast[T]{value: value, id: id, bytes: sizeBytes}
+}
+
+// Value returns the broadcast payload. Tasks must treat it as
+// read-only.
+func (b *Broadcast[T]) Value() T {
+	b.reads.Add(1)
+	return b.value
+}
+
+// SizeBytes returns the accounted payload size.
+func (b *Broadcast[T]) SizeBytes() int64 { return b.bytes }
+
+// Reads returns how many times Value was called (used by tests to show
+// tasks read the broadcast rather than a shipped copy).
+func (b *Broadcast[T]) Reads() int64 { return b.reads.Load() }

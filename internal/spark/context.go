@@ -1,0 +1,377 @@
+// Package spark is an in-process analogue of the Spark runtime the
+// paper targets: a driver coordinating executors, resilient distributed
+// datasets with lazy narrow transformations pipelined into stages,
+// hash-partitioned shuffles between stages, read-only broadcast
+// variables, write-only accumulators merged at the driver, FIFO task
+// scheduling with retries, and lineage-based recomputation when a task
+// attempt fails.
+//
+// Two execution modes exist. In Virtual mode (the default, and the one
+// every paper figure uses), tasks execute for real on the host — so
+// results are exact — while metering their work into a simtime ledger;
+// a vcluster list scheduler then derives how long the stage would have
+// taken on cfg.Cores virtual cores. This is how the repository runs the
+// paper's 512-core experiments on a laptop. In Real mode, tasks run on
+// a goroutine pool of cfg.Cores workers and stages are timed with the
+// wall clock.
+package spark
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/vcluster"
+)
+
+// Mode selects how stage time is measured.
+type Mode int
+
+const (
+	// Virtual executes tasks on the host but reports simulated time on
+	// cfg.Cores virtual cores from metered work.
+	Virtual Mode = iota
+	// Real executes tasks on a pool of cfg.Cores goroutines and
+	// reports wall-clock time. cfg.Cores should not exceed the host
+	// CPU count for the numbers to mean anything.
+	Real
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Virtual:
+		return "virtual"
+	case Real:
+		return "real"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// FailureInjector decides whether a task attempt fails. It is consulted
+// when the attempt starts; returning a non-nil error fails the attempt,
+// which the scheduler will retry (recomputing from lineage) up to
+// MaxTaskRetries times.
+type FailureInjector func(stage, partition, attempt int) error
+
+// Config configures a Context.
+type Config struct {
+	// Cores is p in the paper: the number of (virtual) cores the
+	// cluster offers. Default 1.
+	Cores int
+	// CoresPerExecutor groups cores into executor processes; broadcast
+	// deserialization is paid once per executor. Default 8 (two Spark
+	// executors per Edison node socket would be 12; 8 is Spark's
+	// common default).
+	CoresPerExecutor int
+	// Mode selects Virtual (default) or Real timing.
+	Mode Mode
+	// Model prices metered work in Virtual mode. Default
+	// simtime.DefaultModel().
+	Model *simtime.CostModel
+	// StragglerFrac scales the per-task straggler tail in Virtual mode
+	// (the paper's t_straggling). Default 0.25.
+	StragglerFrac float64
+	// Speculation enables speculative re-execution of straggling tasks
+	// (spark.speculation). Off by default, as in Spark 1.5.
+	Speculation bool
+	// Seed makes straggler draws reproducible.
+	Seed uint64
+	// MaxTaskRetries bounds attempts per task (Spark's default is 4).
+	MaxTaskRetries int
+	// FailureInjector, when set, can fail task attempts.
+	FailureInjector FailureInjector
+	// HostParallelism is how many OS-level workers actually execute
+	// tasks in Virtual mode (wall-clock speed only; no effect on
+	// simulated time). Default runtime.NumCPU().
+	HostParallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores < 1 {
+		c.Cores = 1
+	}
+	if c.CoresPerExecutor < 1 {
+		c.CoresPerExecutor = 8
+	}
+	if c.Model == nil {
+		c.Model = simtime.DefaultModel()
+	}
+	if c.StragglerFrac == 0 {
+		c.StragglerFrac = 0.25
+	}
+	if c.MaxTaskRetries < 1 {
+		c.MaxTaskRetries = 4
+	}
+	if c.HostParallelism < 1 {
+		c.HostParallelism = runtime.NumCPU()
+	}
+	return c
+}
+
+// NumExecutors returns how many executor processes cfg.Cores implies.
+func (c Config) NumExecutors() int {
+	return (c.Cores + c.CoresPerExecutor - 1) / c.CoresPerExecutor
+}
+
+// StageReport describes one executed stage.
+type StageReport struct {
+	ID       int
+	Name     string
+	Tasks    int
+	Failures int     // failed task attempts (each was retried)
+	Seconds  float64 // makespan on the virtual/real cores
+	Ideal    float64 // perfectly-balanced lower bound (Virtual only)
+	Work     simtime.Work
+}
+
+// Report aggregates an application's time split, which is exactly the
+// decomposition of the paper's Figure 6: time spent in the driver vs
+// time spent in executors.
+type Report struct {
+	DriverSeconds   float64
+	ExecutorSeconds float64
+	Stages          []StageReport
+	DriverWork      simtime.Work
+}
+
+// Total returns driver + executor seconds.
+func (r Report) Total() float64 { return r.DriverSeconds + r.ExecutorSeconds }
+
+// Context is the driver-side handle to the cluster (the paper's
+// SparkContext). It is safe for use from a single driver goroutine;
+// tasks spawned by the context may run concurrently.
+type Context struct {
+	cfg Config
+
+	mu            sync.Mutex
+	nextRDDID     int
+	nextStageID   int
+	nextAccID     int
+	report        Report
+	warmupPending float64 // per-executor broadcast deser not yet charged
+	accs          map[int]*accumulatorState
+	stopped       bool
+}
+
+// NewContext creates a driver context.
+func NewContext(cfg Config) *Context {
+	return &Context{
+		cfg:  cfg.withDefaults(),
+		accs: make(map[int]*accumulatorState),
+	}
+}
+
+// Config returns the (defaulted) configuration in effect.
+func (c *Context) Config() Config { return c.cfg }
+
+// Stop marks the context stopped; subsequent jobs fail. Mirrors
+// SparkContext.stop().
+func (c *Context) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	c.mu.Unlock()
+}
+
+// Report returns a copy of the application's timing report so far.
+func (c *Context) Report() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.report
+	r.Stages = append([]StageReport(nil), c.report.Stages...)
+	return r
+}
+
+// RunInDriver executes f as driver-side code, metering its work into
+// the ledger it passes to f. In Virtual mode the ledger's priced
+// seconds are added to driver time; in Real mode the wall clock is.
+func (c *Context) RunInDriver(name string, f func(w *simtime.Work) error) error {
+	if err := c.checkActive(); err != nil {
+		return err
+	}
+	var w simtime.Work
+	start := time.Now()
+	err := f(&w)
+	elapsed := time.Since(start).Seconds()
+	c.mu.Lock()
+	c.report.DriverWork.Add(w)
+	if c.cfg.Mode == Virtual {
+		c.report.DriverSeconds += c.cfg.Model.Seconds(w)
+	} else {
+		c.report.DriverSeconds += elapsed
+	}
+	c.mu.Unlock()
+	return err
+}
+
+func (c *Context) checkActive() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return fmt.Errorf("spark: context is stopped")
+	}
+	return nil
+}
+
+// TaskContext is passed to every task attempt. Tasks charge the work
+// they perform and stage accumulator updates through it.
+type TaskContext struct {
+	Stage     int
+	Partition int
+	Attempt   int
+
+	work       simtime.Work
+	accUpdates []stagedAccUpdate
+	ctx        *Context
+}
+
+type stagedAccUpdate struct {
+	id    int
+	value any
+}
+
+// Charge adds w to the task's metered work.
+func (tc *TaskContext) Charge(w simtime.Work) { tc.work.Add(w) }
+
+// ChargeElems is shorthand for charging n generic element operations.
+func (tc *TaskContext) ChargeElems(n int64) { tc.work.Elems += n }
+
+// Work returns the work metered so far by this attempt.
+func (tc *TaskContext) Work() simtime.Work { return tc.work }
+
+// runStage executes one task per partition index in [0, parts) and
+// returns per-partition results. compute is the pipelined stage
+// function. Failed attempts are retried up to MaxTaskRetries with
+// recomputation from lineage (i.e. compute simply runs again).
+func runStage[T any](c *Context, name string, parts int,
+	compute func(split int, tc *TaskContext) (T, error)) ([]T, error) {
+	if err := c.checkActive(); err != nil {
+		var zero []T
+		return zero, err
+	}
+	c.mu.Lock()
+	stageID := c.nextStageID
+	c.nextStageID++
+	warmup := c.warmupPending
+	c.warmupPending = 0
+	c.mu.Unlock()
+
+	results := make([]T, parts)
+	taskWork := make([]simtime.Work, parts)
+	var failures int64
+	var failuresMu sync.Mutex
+
+	workers := c.cfg.HostParallelism
+	if c.cfg.Mode == Real {
+		workers = c.cfg.Cores
+	}
+	if workers > parts {
+		workers = parts
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	start := time.Now()
+	var firstErr error
+	var errMu sync.Mutex
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for split := 0; split < parts; split++ {
+		errMu.Lock()
+		stop := firstErr != nil
+		errMu.Unlock()
+		if stop {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(split int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			res, w, nfail, err := runTaskWithRetries(c, stageID, split, compute)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			results[split] = res
+			taskWork[split] = w
+			if nfail > 0 {
+				failuresMu.Lock()
+				failures += int64(nfail)
+				failuresMu.Unlock()
+			}
+		}(split)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	wall := time.Since(start).Seconds()
+
+	rep := StageReport{ID: stageID, Name: name, Tasks: parts, Failures: int(failures)}
+	if c.cfg.Mode == Virtual {
+		tasks := make([]vcluster.Task, parts)
+		for i, w := range taskWork {
+			tasks[i] = vcluster.Task{ID: i, Seconds: c.cfg.Model.Seconds(w)}
+			rep.Work.Add(w)
+		}
+		sched := vcluster.Run(tasks, vcluster.Options{
+			Cores:          c.cfg.Cores,
+			LaunchOverhead: c.cfg.Model.TaskLaunch,
+			StragglerFrac:  c.cfg.StragglerFrac,
+			Seed:           c.cfg.Seed ^ uint64(stageID)<<32,
+			WarmupPerCore:  warmup,
+			Speculation:    c.cfg.Speculation,
+		})
+		rep.Seconds = sched.Makespan
+		rep.Ideal = sched.IdealSpan
+	} else {
+		for _, w := range taskWork {
+			rep.Work.Add(w)
+		}
+		rep.Seconds = wall
+		rep.Ideal = wall
+	}
+
+	c.mu.Lock()
+	c.report.Stages = append(c.report.Stages, rep)
+	c.report.ExecutorSeconds += rep.Seconds
+	c.mu.Unlock()
+	return results, nil
+}
+
+// runTaskWithRetries runs one task until success or retry exhaustion.
+// Accumulator updates are merged only for the successful attempt, so
+// accumulators count each partition exactly once per action — matching
+// Spark's guarantee for updates inside actions.
+func runTaskWithRetries[T any](c *Context, stageID, split int,
+	compute func(split int, tc *TaskContext) (T, error)) (T, simtime.Work, int, error) {
+	var zero T
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxTaskRetries; attempt++ {
+		tc := &TaskContext{Stage: stageID, Partition: split, Attempt: attempt, ctx: c}
+		if c.cfg.FailureInjector != nil {
+			if err := c.cfg.FailureInjector(stageID, split, attempt); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		res, err := compute(split, tc)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		c.commitAccUpdates(tc)
+		return res, tc.work, attempt, nil
+	}
+	return zero, simtime.Work{}, c.cfg.MaxTaskRetries,
+		fmt.Errorf("spark: stage %d task %d failed %d attempts: %w",
+			stageID, split, c.cfg.MaxTaskRetries, lastErr)
+}

@@ -1,0 +1,172 @@
+package spark
+
+import (
+	"fmt"
+
+	"sparkdbscan/internal/rng"
+)
+
+// Additional RDD operations beyond what the DBSCAN pipeline strictly
+// needs, so the substrate is usable as a general dataflow runtime (and
+// so the comparison framework can express other algorithms).
+
+// Union concatenates two RDDs; partition k of the result is partition k
+// of a for k < a.parts, then the partitions of b. Narrow: no shuffle.
+func Union[T any](a, b *RDD[T]) *RDD[T] {
+	out := newRDD[T](a.ctx, a.name+"+"+b.name, a.parts+b.parts, nil)
+	out.sizeFn = a.sizeFn
+	out.prepare = func() error {
+		if err := a.runPrepare(); err != nil {
+			return err
+		}
+		return b.runPrepare()
+	}
+	out.compute = func(split int, tc *TaskContext) ([]T, error) {
+		if split < a.parts {
+			return a.materialize(split, tc)
+		}
+		return b.materialize(split-a.parts, tc)
+	}
+	return out
+}
+
+// Distinct removes duplicates via a shuffle (hash-partition by value,
+// dedupe per reducer).
+func Distinct[T comparable](r *RDD[T], parts int) *RDD[T] {
+	paired := Map(r, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{v, struct{}{}} })
+	reduced := ReduceByKey(paired, func(a, b struct{}) struct{} { return a }, parts)
+	return Map(reduced, func(p Pair[T, struct{}]) T { return p.Key })
+}
+
+// Sample returns a deterministic Bernoulli sample (without replacement)
+// of r with the given fraction, seeded so retried tasks resample
+// identically — the property Spark's PartitionwiseSampledRDD needs for
+// correct recomputation.
+func Sample[T any](r *RDD[T], fraction float64, seed uint64) *RDD[T] {
+	out := newRDD[T](r.ctx, fmt.Sprintf("%s.sample(%g)", r.name, fraction), r.parts, nil)
+	out.sizeFn = r.sizeFn
+	out.prepare = r.runPrepare
+	out.compute = func(split int, tc *TaskContext) ([]T, error) {
+		in, err := r.materialize(split, tc)
+		if err != nil {
+			return nil, err
+		}
+		gen := rng.New(seed ^ uint64(split)*0x9e3779b97f4a7c15)
+		var res []T
+		for _, e := range in {
+			if gen.Float64() < fraction {
+				res = append(res, e)
+			}
+		}
+		tc.ChargeElems(int64(len(in)))
+		return res, nil
+	}
+	return out
+}
+
+// Take returns the first n elements in partition order, materializing
+// only as many partitions as needed (Spark's incremental take).
+func (r *RDD[T]) Take(n int) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if err := r.runPrepare(); err != nil {
+		return nil, err
+	}
+	var out []T
+	for split := 0; split < r.parts && len(out) < n; split++ {
+		part, err := runStage(r.ctx, fmt.Sprintf("%s.take[%d]", r.name, split), 1,
+			func(_ int, tc *TaskContext) ([]T, error) {
+				return r.materialize(split, tc)
+			})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part[0]...)
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out, nil
+}
+
+// First returns the first element, or an error on an empty RDD.
+func (r *RDD[T]) First() (T, error) {
+	var zero T
+	out, err := r.Take(1)
+	if err != nil {
+		return zero, err
+	}
+	if len(out) == 0 {
+		return zero, fmt.Errorf("spark: First on empty RDD %s", r.name)
+	}
+	return out[0], nil
+}
+
+// CountByKey returns a map from key to occurrence count, computed at
+// the driver from a Collect (matching Spark's semantics, which warn
+// that the result must fit in driver memory).
+func CountByKey[K comparable, V any](r *RDD[Pair[K, V]]) (map[K]int64, error) {
+	all, err := r.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]int64)
+	for _, p := range all {
+		out[p.Key]++
+	}
+	return out, nil
+}
+
+// JoinedValue holds one match of an inner join.
+type JoinedValue[V, W any] struct {
+	Left  V
+	Right W
+}
+
+// Join inner-joins two pair RDDs on their keys via a shuffle of each
+// side, producing every (v, w) combination per key.
+func Join[K comparable, V, W any](left *RDD[Pair[K, V]], right *RDD[Pair[K, W]],
+	parts int) *RDD[Pair[K, JoinedValue[V, W]]] {
+	if parts < 1 {
+		parts = left.parts
+	}
+	lg := GroupByKey(left, parts)
+	rg := GroupByKey(right, parts)
+	out := newRDD[Pair[K, JoinedValue[V, W]]](left.ctx, left.name+".join", parts, nil)
+	out.prepare = func() error {
+		if err := lg.runPrepare(); err != nil {
+			return err
+		}
+		return rg.runPrepare()
+	}
+	out.compute = func(split int, tc *TaskContext) ([]Pair[K, JoinedValue[V, W]], error) {
+		ls, err := lg.materialize(split, tc)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := rg.materialize(split, tc)
+		if err != nil {
+			return nil, err
+		}
+		rightByKey := make(map[K][]W, len(rs))
+		for _, p := range rs {
+			rightByKey[p.Key] = p.Value
+		}
+		var res []Pair[K, JoinedValue[V, W]]
+		for _, p := range ls {
+			ws, ok := rightByKey[p.Key]
+			if !ok {
+				continue
+			}
+			for _, v := range p.Value {
+				for _, w := range ws {
+					res = append(res, Pair[K, JoinedValue[V, W]]{p.Key, JoinedValue[V, W]{v, w}})
+					tc.ChargeElems(1)
+				}
+			}
+		}
+		return res, nil
+	}
+	return out
+}

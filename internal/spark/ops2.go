@@ -1,0 +1,136 @@
+package spark
+
+import (
+	"bytes"
+	"fmt"
+
+	"sparkdbscan/internal/hdfs"
+	"sparkdbscan/internal/simtime"
+)
+
+// Coalesce reduces the RDD to parts partitions without a shuffle by
+// assigning consecutive groups of parent partitions to each output
+// partition (Spark's coalesce(n, shuffle=false)). Increasing the
+// partition count requires a shuffle; use Repartition.
+func (r *RDD[T]) Coalesce(parts int) *RDD[T] {
+	if parts < 1 {
+		parts = 1
+	}
+	if parts >= r.parts {
+		return r
+	}
+	out := newRDD[T](r.ctx, fmt.Sprintf("%s.coalesce(%d)", r.name, parts), parts, nil)
+	out.sizeFn = r.sizeFn
+	out.prepare = r.runPrepare
+	out.compute = func(split int, tc *TaskContext) ([]T, error) {
+		lo, hi := partitionRange(r.parts, parts, split)
+		var res []T
+		for p := lo; p < hi; p++ {
+			part, err := r.materialize(p, tc)
+			if err != nil {
+				return nil, err
+			}
+			res = append(res, part...)
+		}
+		return res, nil
+	}
+	return out
+}
+
+// Repartition redistributes elements over parts partitions through a
+// round-robin shuffle, rebalancing skew at the cost of moving all the
+// data.
+func Repartition[T any](r *RDD[T], parts int) *RDD[T] {
+	if parts < 1 {
+		parts = r.parts
+	}
+	keyed := newRDD[Pair[int, T]](r.ctx, r.name+".rrkey", r.parts, nil)
+	keyed.prepare = r.runPrepare
+	keyed.compute = func(split int, tc *TaskContext) ([]Pair[int, T], error) {
+		in, err := r.materialize(split, tc)
+		if err != nil {
+			return nil, err
+		}
+		res := make([]Pair[int, T], len(in))
+		for i, e := range in {
+			res[i] = Pair[int, T]{Key: split*53 + i, Value: e}
+		}
+		tc.ChargeElems(int64(len(in)))
+		return res, nil
+	}
+	grouped := GroupByKey(keyed, parts)
+	return FlatMap(grouped, func(p Pair[int, []T]) []T { return p.Value })
+}
+
+// AggregateByKey folds each key's values into an accumulator of a
+// different type: seq merges a value into the accumulator (map side),
+// comb merges two accumulators (reduce side). zero() produces a fresh
+// accumulator.
+func AggregateByKey[K comparable, V, A any](r *RDD[Pair[K, V]], zero func() A,
+	seq func(A, V) A, comb func(A, A) A, parts int) *RDD[Pair[K, A]] {
+	premerged := newRDD[Pair[K, A]](r.ctx, r.name+".aggSeq", r.parts, nil)
+	premerged.prepare = r.runPrepare
+	premerged.compute = func(split int, tc *TaskContext) ([]Pair[K, A], error) {
+		in, err := r.materialize(split, tc)
+		if err != nil {
+			return nil, err
+		}
+		accs := make(map[K]A, len(in))
+		var order []K
+		var w simtime.Work
+		for _, p := range in {
+			w.HashOps++
+			acc, ok := accs[p.Key]
+			if !ok {
+				acc = zero()
+				order = append(order, p.Key)
+			}
+			accs[p.Key] = seq(acc, p.Value)
+		}
+		w.Elems += int64(len(in))
+		tc.Charge(w)
+		res := make([]Pair[K, A], 0, len(accs))
+		for _, k := range order {
+			res = append(res, Pair[K, A]{k, accs[k]})
+		}
+		return res, nil
+	}
+	return ReduceByKey(premerged, comb, parts)
+}
+
+// SaveAsTextFile renders every element with format (one per line) and
+// writes the concatenation of all partitions to the filesystem under
+// name, charging the write. It is an action.
+func SaveAsTextFile[T any](r *RDD[T], fs *hdfs.FileSystem, name string,
+	format func(T) string) error {
+	if err := r.runPrepare(); err != nil {
+		return err
+	}
+	parts, err := runStage(r.ctx, r.name+".saveAsTextFile", r.parts,
+		func(split int, tc *TaskContext) ([]byte, error) {
+			data, err := r.materialize(split, tc)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			for _, e := range data {
+				buf.WriteString(format(e))
+				buf.WriteByte('\n')
+			}
+			tc.Charge(simtime.Work{
+				Elems:    int64(len(data)),
+				SerBytes: int64(buf.Len()),
+			})
+			return buf.Bytes(), nil
+		})
+	if err != nil {
+		return err
+	}
+	var all []byte
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return r.ctx.RunInDriver(r.name+".hdfsWrite", func(w *simtime.Work) error {
+		return fs.Write(name, all, w)
+	})
+}

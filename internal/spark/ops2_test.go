@@ -1,0 +1,124 @@
+package spark
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sparkdbscan/internal/hdfs"
+)
+
+func TestCoalesce(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	rdd := Parallelize(ctx, intRange(100), 10)
+	co := rdd.Coalesce(3)
+	if co.NumPartitions() != 3 {
+		t.Fatalf("partitions = %d", co.NumPartitions())
+	}
+	got, err := co.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("lost elements: %d", len(got))
+	}
+	// Coalesce preserves order (consecutive groups).
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: %d", i, v)
+		}
+	}
+	// Coalescing up is a no-op.
+	if rdd.Coalesce(20) != rdd {
+		t.Fatal("coalesce up did not return the same RDD")
+	}
+}
+
+func TestRepartition(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	rdd := Parallelize(ctx, intRange(60), 2)
+	re := Repartition(rdd, 6)
+	if re.NumPartitions() != 6 {
+		t.Fatalf("partitions = %d", re.NumPartitions())
+	}
+	got, err := re.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if len(got) != 60 || got[0] != 0 || got[59] != 59 {
+		t.Fatalf("repartition lost data: %d elements", len(got))
+	}
+	// Balance: no output partition should hold everything.
+	counts, err := runStage(ctx, "count", 6, func(split int, tc *TaskContext) (int, error) {
+		part, err := re.materialize(split, tc)
+		return len(part), err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range counts {
+		if c == 60 {
+			t.Fatalf("repartition did not spread: %v", counts)
+		}
+	}
+}
+
+func TestAggregateByKey(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	var pairs []Pair[string, int]
+	for i := 0; i < 30; i++ {
+		pairs = append(pairs, Pair[string, int]{Key: []string{"a", "b", "c"}[i%3], Value: i})
+	}
+	rdd := Parallelize(ctx, pairs, 4)
+	// Aggregate to (count, sum) per key.
+	type agg struct{ count, sum int }
+	out, err := AggregateByKey(rdd,
+		func() agg { return agg{} },
+		func(a agg, v int) agg { return agg{a.count + 1, a.sum + v} },
+		func(a, b agg) agg { return agg{a.count + b.count, a.sum + b.sum} },
+		2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d keys", len(out))
+	}
+	for _, p := range out {
+		if p.Value.count != 10 {
+			t.Fatalf("key %s count %d", p.Key, p.Value.count)
+		}
+	}
+	total := 0
+	for _, p := range out {
+		total += p.Value.sum
+	}
+	if total != 435 { // sum 0..29
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestSaveAsTextFile(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	fs := hdfs.New(64, 1)
+	rdd := Parallelize(ctx, intRange(50), 5)
+	err := SaveAsTextFile(rdd, fs, "out/values.txt", func(v int) string {
+		return strconv.Itoa(v * 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := fs.Read("out/values.txt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 50 || lines[0] != "0" || lines[49] != "98" {
+		t.Fatalf("saved file wrong: %d lines, first %q last %q", len(lines), lines[0], lines[len(lines)-1])
+	}
+	// The write was charged to the driver.
+	if rep := ctx.Report(); rep.DriverWork.HDFSBytes == 0 {
+		t.Fatal("HDFS write not charged")
+	}
+}

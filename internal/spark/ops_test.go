@@ -1,0 +1,165 @@
+package spark
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestUnion(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	a := Parallelize(ctx, []int{1, 2, 3}, 2)
+	b := Parallelize(ctx, []int{4, 5}, 1)
+	got, err := Union(a, b).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	if u := Union(a, b); u.NumPartitions() != 3 {
+		t.Fatalf("union partitions = %d", u.NumPartitions())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	rdd := Parallelize(ctx, []int{3, 1, 3, 2, 1, 1, 2}, 3)
+	got, err := Distinct(rdd, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Distinct = %v", got)
+	}
+}
+
+func TestSampleDeterministicAndProportional(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	rdd := Parallelize(ctx, intRange(10000), 8)
+	s1, err := Sample(rdd, 0.3, 42).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Sample(rdd, 0.3, 42).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1) != len(s2) {
+		t.Fatalf("sample not deterministic: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("sample content differs across runs")
+		}
+	}
+	frac := float64(len(s1)) / 10000
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("sample fraction %.3f far from 0.3", frac)
+	}
+	s3, err := Sample(rdd, 0.3, 43).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s3) == len(s1) {
+		same := true
+		for i := range s3 {
+			if s3[i] != s1[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical samples")
+		}
+	}
+}
+
+func TestTakeAndFirst(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	rdd := Parallelize(ctx, intRange(100), 10)
+	got, err := rdd.Take(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 || got[0] != 0 || got[6] != 6 {
+		t.Fatalf("Take(7) = %v", got)
+	}
+	// Take must not materialize every partition.
+	stagesBefore := len(ctx.Report().Stages)
+	if stagesBefore >= 10 {
+		t.Fatalf("Take ran %d stages for 7 elements over 10 partitions", stagesBefore)
+	}
+	first, err := rdd.First()
+	if err != nil || first != 0 {
+		t.Fatalf("First = %d, %v", first, err)
+	}
+	if got, err := rdd.Take(0); err != nil || got != nil {
+		t.Fatalf("Take(0) = %v, %v", got, err)
+	}
+	over, err := rdd.Take(1000)
+	if err != nil || len(over) != 100 {
+		t.Fatalf("Take(1000) returned %d", len(over))
+	}
+}
+
+func TestFirstEmpty(t *testing.T) {
+	ctx := NewContext(Config{})
+	rdd := Parallelize(ctx, []int{}, 2)
+	if _, err := rdd.First(); err == nil {
+		t.Fatal("First on empty RDD succeeded")
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	pairs := []Pair[string, int]{{"a", 1}, {"b", 2}, {"a", 3}, {"a", 4}}
+	counts, err := CountByKey(Parallelize(ctx, pairs, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] != 3 || counts["b"] != 1 || len(counts) != 2 {
+		t.Fatalf("CountByKey = %v", counts)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := NewContext(Config{Cores: 2})
+	left := Parallelize(ctx, []Pair[int, string]{
+		{1, "a"}, {2, "b"}, {1, "c"}, {3, "only-left"},
+	}, 2)
+	right := Parallelize(ctx, []Pair[int, int]{
+		{1, 10}, {1, 20}, {2, 30}, {4, 99},
+	}, 3)
+	got, err := Join(left, right, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Key 1: {a,c} x {10,20} = 4 rows; key 2: 1 row; keys 3 and 4
+	// drop (inner join).
+	if len(got) != 5 {
+		t.Fatalf("join produced %d rows: %v", len(got), got)
+	}
+	count1 := 0
+	for _, p := range got {
+		switch p.Key {
+		case 1:
+			count1++
+		case 2:
+			if p.Value.Left != "b" || p.Value.Right != 30 {
+				t.Fatalf("key 2 row = %+v", p)
+			}
+		default:
+			t.Fatalf("unexpected key %d", p.Key)
+		}
+	}
+	if count1 != 4 {
+		t.Fatalf("key 1 rows = %d", count1)
+	}
+}

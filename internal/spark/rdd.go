@@ -1,0 +1,465 @@
+package spark
+
+import (
+	"fmt"
+	"sync"
+
+	"sparkdbscan/internal/hdfs"
+	"sparkdbscan/internal/simtime"
+)
+
+// RDD is a resilient distributed dataset: a lazy, partitioned
+// collection described by its lineage. Narrow transformations (Map,
+// Filter, FlatMap, MapPartitions) are pipelined — they compose compute
+// functions and execute inside a single stage, exactly as Spark's DAG
+// scheduler pipelines narrow dependencies. Wide operations (see
+// shuffle.go) insert a stage boundary.
+//
+// Because Go methods cannot introduce type parameters, transformations
+// whose element type changes are package-level functions (spark.Map,
+// spark.FlatMap); same-type operations are methods.
+type RDD[T any] struct {
+	ctx   *Context
+	id    int
+	name  string
+	parts int
+	// compute materializes one partition. It must be deterministic: a
+	// retried task recomputes the partition from lineage by calling it
+	// again.
+	compute func(split int, tc *TaskContext) ([]T, error)
+	// prepare runs parent stages (shuffle map sides). It executes at
+	// most once per job graph thanks to sync.Once chaining.
+	prepare func() error
+
+	// sizeFn estimates the serialized size of one element; used to
+	// charge executor→driver result traffic and shuffle volume.
+	sizeFn func(T) int64
+
+	cacheMu sync.Mutex
+	cached  bool
+	cache   [][]T
+}
+
+// defaultElemSize is the serialized-size guess for elements without a
+// SizeFunc: a small struct or boxed number.
+const defaultElemSize = 16
+
+func newRDD[T any](ctx *Context, name string, parts int,
+	compute func(split int, tc *TaskContext) ([]T, error)) *RDD[T] {
+	ctx.mu.Lock()
+	id := ctx.nextRDDID
+	ctx.nextRDDID++
+	ctx.mu.Unlock()
+	return &RDD[T]{
+		ctx:     ctx,
+		id:      id,
+		name:    name,
+		parts:   parts,
+		compute: compute,
+		sizeFn:  func(T) int64 { return defaultElemSize },
+	}
+}
+
+// ID returns the RDD's unique id within its context.
+func (r *RDD[T]) ID() int { return r.id }
+
+// Name returns the RDD's lineage label.
+func (r *RDD[T]) Name() string { return r.name }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.parts }
+
+// SetSizeFunc installs a per-element serialized-size estimator and
+// returns r for chaining.
+func (r *RDD[T]) SetSizeFunc(f func(T) int64) *RDD[T] {
+	r.sizeFn = f
+	return r
+}
+
+// Persist marks the RDD cached: the first materialization of each
+// partition is kept in memory and reused by later jobs (and by task
+// retries of downstream stages). Mirrors rdd.cache().
+func (r *RDD[T]) Persist() *RDD[T] {
+	r.cacheMu.Lock()
+	if !r.cached {
+		r.cached = true
+		r.cache = make([][]T, r.parts)
+	}
+	r.cacheMu.Unlock()
+	return r
+}
+
+// materialize returns partition split, honouring the cache.
+func (r *RDD[T]) materialize(split int, tc *TaskContext) ([]T, error) {
+	if !r.cached {
+		return r.compute(split, tc)
+	}
+	r.cacheMu.Lock()
+	if c := r.cache[split]; c != nil {
+		r.cacheMu.Unlock()
+		return c, nil
+	}
+	r.cacheMu.Unlock()
+	data, err := r.compute(split, tc)
+	if err != nil {
+		return nil, err
+	}
+	r.cacheMu.Lock()
+	if r.cache[split] == nil {
+		r.cache[split] = data
+	} else {
+		data = r.cache[split]
+	}
+	r.cacheMu.Unlock()
+	return data, nil
+}
+
+func (r *RDD[T]) runPrepare() error {
+	if r.prepare == nil {
+		return nil
+	}
+	return r.prepare()
+}
+
+// ---------- Creation ----------
+
+// Parallelize distributes data across parts partitions (contiguous
+// index ranges, matching the paper's partitioning of points). The
+// driver→executor shipping cost of each slice is charged to the task
+// that first materializes it.
+func Parallelize[T any](ctx *Context, data []T, parts int) *RDD[T] {
+	if parts < 1 {
+		parts = 1
+	}
+	n := len(data)
+	r := newRDD[T](ctx, "parallelize", parts, nil)
+	r.compute = func(split int, tc *TaskContext) ([]T, error) {
+		lo, hi := partitionRange(n, parts, split)
+		out := data[lo:hi]
+		var w simtime.Work
+		for _, e := range out {
+			w.SerBytes += r.sizeFn(e)
+		}
+		tc.Charge(w)
+		return out, nil
+	}
+	return r
+}
+
+// partitionRange splits n elements into parts contiguous ranges and
+// returns the bounds of range split. The first n%parts ranges get one
+// extra element.
+func partitionRange(n, parts, split int) (lo, hi int) {
+	base := n / parts
+	extra := n % parts
+	lo = split*base + min(split, extra)
+	hi = lo + base
+	if split < extra {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TextFile reads an HDFS file as one partition per block, charging the
+// block reads (the Δ ingestion term) to the reading tasks. Lines are
+// returned unsplit per block; callers parse them.
+func TextFile(ctx *Context, fs *hdfs.FileSystem, name string) (*RDD[[]byte], error) {
+	blocks, err := fs.NumBlocks(name)
+	if err != nil {
+		return nil, err
+	}
+	r := newRDD[[]byte](ctx, fmt.Sprintf("textFile(%s)", name), blocks, nil)
+	r.compute = func(split int, tc *TaskContext) ([][]byte, error) {
+		var w simtime.Work
+		block, err := fs.ReadBlock(name, split, &w)
+		if err != nil {
+			return nil, err
+		}
+		tc.Charge(w)
+		return [][]byte{block}, nil
+	}
+	return r, nil
+}
+
+// TextFileLines reads an HDFS text file as one partition per block with
+// Hadoop TextInputFormat record semantics: a line belongs to the split
+// in which it *starts*; a reader whose split does not begin the file
+// positions itself one byte before the split, discards through the
+// first newline (an empty discard when the previous block ended exactly
+// on a line boundary), and reads past its split end to finish its last
+// line. Lines must be shorter than a block.
+func TextFileLines(ctx *Context, fs *hdfs.FileSystem, name string) (*RDD[string], error) {
+	size, err := fs.Size(name)
+	if err != nil {
+		return nil, err
+	}
+	bs := int64(fs.BlockSize())
+	splits := int((size + bs - 1) / bs)
+	if splits == 0 {
+		splits = 1
+	}
+	r := newRDD[string](ctx, fmt.Sprintf("textFileLines(%s)", name), splits, nil)
+	r.compute = func(split int, tc *TaskContext) ([]string, error) {
+		start := int64(split) * bs
+		end := start + bs
+		if end > size {
+			end = size
+		}
+		readStart := start
+		if split > 0 {
+			readStart-- // Hadoop's start-1 trick
+		}
+		// Over-read one extra block to complete the final line.
+		var w simtime.Work
+		data, err := fs.ReadAt(name, readStart, end-readStart+bs, &w)
+		if err != nil {
+			return nil, err
+		}
+		tc.Charge(w)
+		pos := 0
+		abs := readStart
+		if split > 0 {
+			// Discard through the first newline: that line started in
+			// (and belongs to) the previous split.
+			for pos < len(data) && data[pos] != '\n' {
+				pos++
+			}
+			pos++ // consume the newline itself
+			abs = readStart + int64(pos)
+		}
+		var lines []string
+		for abs < end && pos < len(data) {
+			nl := pos
+			for nl < len(data) && data[nl] != '\n' {
+				nl++
+			}
+			if nl == len(data) && abs+int64(nl-pos) < size {
+				return nil, fmt.Errorf("spark: line at byte %d longer than a block", abs)
+			}
+			lines = append(lines, string(data[pos:nl]))
+			abs += int64(nl - pos + 1)
+			pos = nl + 1
+		}
+		tc.ChargeElems(int64(len(lines)))
+		return lines, nil
+	}
+	return r, nil
+}
+
+// ---------- Narrow transformations ----------
+
+// Map applies f to every element. Pipelined (no stage boundary).
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	out := newRDD[U](r.ctx, r.name+".map", r.parts, nil)
+	out.prepare = r.runPrepare
+	out.compute = func(split int, tc *TaskContext) ([]U, error) {
+		in, err := r.materialize(split, tc)
+		if err != nil {
+			return nil, err
+		}
+		res := make([]U, len(in))
+		for i, e := range in {
+			res[i] = f(e)
+		}
+		tc.ChargeElems(int64(len(in)))
+		return res, nil
+	}
+	return out
+}
+
+// FlatMap applies f to every element and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	out := newRDD[U](r.ctx, r.name+".flatMap", r.parts, nil)
+	out.prepare = r.runPrepare
+	out.compute = func(split int, tc *TaskContext) ([]U, error) {
+		in, err := r.materialize(split, tc)
+		if err != nil {
+			return nil, err
+		}
+		var res []U
+		for _, e := range in {
+			res = append(res, f(e)...)
+		}
+		tc.ChargeElems(int64(len(in)))
+		return res, nil
+	}
+	return out
+}
+
+// Filter keeps the elements for which pred is true.
+func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
+	out := newRDD[T](r.ctx, r.name+".filter", r.parts, nil)
+	out.prepare = r.runPrepare
+	out.sizeFn = r.sizeFn
+	out.compute = func(split int, tc *TaskContext) ([]T, error) {
+		in, err := r.materialize(split, tc)
+		if err != nil {
+			return nil, err
+		}
+		var res []T
+		for _, e := range in {
+			if pred(e) {
+				res = append(res, e)
+			}
+		}
+		tc.ChargeElems(int64(len(in)))
+		return res, nil
+	}
+	return out
+}
+
+// MapPartitionsWithIndex transforms a whole partition at once, giving f
+// the partition index and task context — the hook the DBSCAN runner
+// uses for its per-executor local clustering.
+func MapPartitionsWithIndex[T, U any](r *RDD[T],
+	f func(split int, in []T, tc *TaskContext) ([]U, error)) *RDD[U] {
+	out := newRDD[U](r.ctx, r.name+".mapPartitions", r.parts, nil)
+	out.prepare = r.runPrepare
+	out.compute = func(split int, tc *TaskContext) ([]U, error) {
+		in, err := r.materialize(split, tc)
+		if err != nil {
+			return nil, err
+		}
+		return f(split, in, tc)
+	}
+	return out
+}
+
+// ---------- Actions ----------
+
+// Collect materializes every partition and returns all elements in
+// partition order, charging the executor→driver result transfer.
+func (r *RDD[T]) Collect() ([]T, error) {
+	if err := r.runPrepare(); err != nil {
+		return nil, err
+	}
+	parts, err := runStage(r.ctx, r.name+".collect", r.parts,
+		func(split int, tc *TaskContext) ([]T, error) {
+			data, err := r.materialize(split, tc)
+			if err != nil {
+				return nil, err
+			}
+			var w simtime.Work
+			for _, e := range data {
+				w.SerBytes += r.sizeFn(e)
+			}
+			w.NetBytes = w.SerBytes
+			tc.Charge(w)
+			return data, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []T
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count returns the number of elements.
+func (r *RDD[T]) Count() (int64, error) {
+	if err := r.runPrepare(); err != nil {
+		return 0, err
+	}
+	counts, err := runStage(r.ctx, r.name+".count", r.parts,
+		func(split int, tc *TaskContext) (int64, error) {
+			data, err := r.materialize(split, tc)
+			if err != nil {
+				return 0, err
+			}
+			return int64(len(data)), nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}
+
+// Reduce folds all elements with f, which must be associative and
+// commutative. It returns an error on an empty RDD.
+func (r *RDD[T]) Reduce(f func(T, T) T) (T, error) {
+	var zero T
+	if err := r.runPrepare(); err != nil {
+		return zero, err
+	}
+	type partial struct {
+		v  T
+		ok bool
+	}
+	parts, err := runStage(r.ctx, r.name+".reduce", r.parts,
+		func(split int, tc *TaskContext) (partial, error) {
+			data, err := r.materialize(split, tc)
+			if err != nil {
+				return partial{}, err
+			}
+			tc.ChargeElems(int64(len(data)))
+			if len(data) == 0 {
+				return partial{}, nil
+			}
+			acc := data[0]
+			for _, e := range data[1:] {
+				acc = f(acc, e)
+			}
+			return partial{v: acc, ok: true}, nil
+		})
+	if err != nil {
+		return zero, err
+	}
+	var acc T
+	have := false
+	for _, p := range parts {
+		if !p.ok {
+			continue
+		}
+		if !have {
+			acc, have = p.v, true
+		} else {
+			acc = f(acc, p.v)
+		}
+	}
+	if !have {
+		return zero, fmt.Errorf("spark: reduce of empty RDD")
+	}
+	return acc, nil
+}
+
+// Foreach runs f on every element, for side effects such as
+// accumulator updates.
+func (r *RDD[T]) Foreach(f func(tc *TaskContext, e T)) error {
+	return r.ForeachPartition(func(split int, in []T, tc *TaskContext) error {
+		for _, e := range in {
+			f(tc, e)
+		}
+		tc.ChargeElems(int64(len(in)))
+		return nil
+	})
+}
+
+// ForeachPartition runs f once per partition — the paper's Algorithm 2
+// executor closure (lines 4–29) runs inside one of these.
+func (r *RDD[T]) ForeachPartition(f func(split int, in []T, tc *TaskContext) error) error {
+	if err := r.runPrepare(); err != nil {
+		return err
+	}
+	_, err := runStage(r.ctx, r.name+".foreachPartition", r.parts,
+		func(split int, tc *TaskContext) (struct{}, error) {
+			data, err := r.materialize(split, tc)
+			if err != nil {
+				return struct{}{}, err
+			}
+			return struct{}{}, f(split, data, tc)
+		})
+	return err
+}

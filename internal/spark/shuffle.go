@@ -1,0 +1,201 @@
+package spark
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"sparkdbscan/internal/simtime"
+)
+
+// Pair is a keyed element for wide (shuffle) operations.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// hashKey maps an arbitrary comparable key to a bucket hash. Common key
+// types take a fast path; everything else goes through fmt.
+func hashKey(k any) uint64 {
+	switch v := k.(type) {
+	case int:
+		return mix64(uint64(v))
+	case int32:
+		return mix64(uint64(uint32(v)))
+	case int64:
+		return mix64(uint64(v))
+	case uint64:
+		return mix64(v)
+	case string:
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(v))
+		return h.Sum64()
+	default:
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%v", v)
+		return h.Sum64()
+	}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// shuffleExchange holds the materialized map-side output of one wide
+// dependency: buckets[mapPartition][reducePartition].
+type shuffleExchange[K comparable, V any] struct {
+	once    sync.Once
+	err     error
+	buckets [][][]Pair[K, V]
+}
+
+// runMapSide executes the shuffle's map-side stage: each parent
+// partition is hashed into reduceParts buckets, with optional map-side
+// combining. The shuffle write (serialize + local disk) is charged to
+// the map tasks; the remote read is charged to the reduce-side tasks in
+// the child RDD's compute.
+func runMapSide[K comparable, V any](r *RDD[Pair[K, V]], ex *shuffleExchange[K, V],
+	reduceParts int, combine func(V, V) V, opName string) error {
+	ex.once.Do(func() {
+		if err := r.runPrepare(); err != nil {
+			ex.err = err
+			return
+		}
+		out, err := runStage(r.ctx, r.name+"."+opName+".mapSide", r.parts,
+			func(split int, tc *TaskContext) ([][]Pair[K, V], error) {
+				in, err := r.materialize(split, tc)
+				if err != nil {
+					return nil, err
+				}
+				buckets := make([][]Pair[K, V], reduceParts)
+				if combine != nil {
+					combined := make(map[K]V, len(in))
+					var w simtime.Work
+					for _, p := range in {
+						w.HashOps++
+						if cur, ok := combined[p.Key]; ok {
+							combined[p.Key] = combine(cur, p.Value)
+						} else {
+							combined[p.Key] = p.Value
+						}
+					}
+					for k, v := range combined {
+						b := int(hashKey(k) % uint64(reduceParts))
+						buckets[b] = append(buckets[b], Pair[K, V]{k, v})
+					}
+					tc.Charge(w)
+				} else {
+					for _, p := range in {
+						b := int(hashKey(p.Key) % uint64(reduceParts))
+						buckets[b] = append(buckets[b], p)
+					}
+				}
+				var w simtime.Work
+				for _, b := range buckets {
+					for _, p := range b {
+						sz := r.sizeFn(p)
+						w.SerBytes += sz
+						w.DiskWriteBytes += sz // shuffle spill to local disk
+					}
+				}
+				w.Elems += int64(len(in))
+				tc.Charge(w)
+				return buckets, nil
+			})
+		if err != nil {
+			ex.err = err
+			return
+		}
+		ex.buckets = out
+	})
+	return ex.err
+}
+
+// ReduceByKey merges all values sharing a key with reduce (associative
+// and commutative), producing an RDD with reduceParts partitions. This
+// is the canonical wide operation — the shuffle the paper's design goes
+// out of its way to avoid, implemented here so its cost can be measured
+// (see the broadcast-vs-shuffle ablation).
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], reduce func(V, V) V,
+	reduceParts int) *RDD[Pair[K, V]] {
+	if reduceParts < 1 {
+		reduceParts = r.parts
+	}
+	ex := &shuffleExchange[K, V]{}
+	out := newRDD[Pair[K, V]](r.ctx, r.name+".reduceByKey", reduceParts, nil)
+	out.sizeFn = r.sizeFn
+	out.prepare = func() error { return runMapSide(r, ex, reduceParts, reduce, "reduceByKey") }
+	out.compute = func(split int, tc *TaskContext) ([]Pair[K, V], error) {
+		merged := make(map[K]V)
+		var w simtime.Work
+		for mapPart := range ex.buckets {
+			for _, p := range ex.buckets[mapPart][split] {
+				sz := r.sizeFn(p)
+				w.DiskReadBytes += sz // remote executor reads the spill
+				w.NetBytes += sz
+				w.HashOps++
+				if cur, ok := merged[p.Key]; ok {
+					merged[p.Key] = reduce(cur, p.Value)
+				} else {
+					merged[p.Key] = p.Value
+				}
+			}
+		}
+		tc.Charge(w)
+		res := make([]Pair[K, V], 0, len(merged))
+		for k, v := range merged {
+			res = append(res, Pair[K, V]{k, v})
+		}
+		return res, nil
+	}
+	return out
+}
+
+// GroupByKey gathers all values per key (no map-side combine, like
+// Spark's groupByKey: the full data volume crosses the wire).
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], reduceParts int) *RDD[Pair[K, []V]] {
+	if reduceParts < 1 {
+		reduceParts = r.parts
+	}
+	ex := &shuffleExchange[K, V]{}
+	out := newRDD[Pair[K, []V]](r.ctx, r.name+".groupByKey", reduceParts, nil)
+	out.prepare = func() error { return runMapSide(r, ex, reduceParts, nil, "groupByKey") }
+	out.compute = func(split int, tc *TaskContext) ([]Pair[K, []V], error) {
+		grouped := make(map[K][]V)
+		var w simtime.Work
+		for mapPart := range ex.buckets {
+			for _, p := range ex.buckets[mapPart][split] {
+				sz := r.sizeFn(p)
+				w.DiskReadBytes += sz
+				w.NetBytes += sz
+				w.HashOps++
+				grouped[p.Key] = append(grouped[p.Key], p.Value)
+			}
+		}
+		tc.Charge(w)
+		res := make([]Pair[K, []V], 0, len(grouped))
+		for k, vs := range grouped {
+			res = append(res, Pair[K, []V]{k, vs})
+		}
+		return res, nil
+	}
+	return out
+}
+
+// SortedCollectByKey is a test/report helper: Collect a pair RDD and
+// return it sorted by the string form of its keys, for deterministic
+// assertions.
+func SortedCollectByKey[K comparable, V any](r *RDD[Pair[K, V]]) ([]Pair[K, V], error) {
+	out, err := r.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i].Key) < fmt.Sprint(out[j].Key)
+	})
+	return out, nil
+}

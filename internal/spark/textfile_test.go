@@ -1,0 +1,128 @@
+package spark
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sparkdbscan/internal/hdfs"
+)
+
+func linesFixture(n int) (string, []string) {
+	var sb strings.Builder
+	var want []string
+	for i := 0; i < n; i++ {
+		line := fmt.Sprintf("line-%04d pad %s", i, strings.Repeat("x", i%17))
+		want = append(want, line)
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	return sb.String(), want
+}
+
+func TestTextFileLinesExactlyOnce(t *testing.T) {
+	content, want := linesFixture(200)
+	// Lines are at most 30 bytes; every block size here exceeds that.
+	for _, blockSize := range []int{32, 57, 64, 100, 1 << 20} {
+		fs := hdfs.New(blockSize, 1)
+		if err := fs.Write("f.txt", []byte(content), nil); err != nil {
+			t.Fatal(err)
+		}
+		ctx := NewContext(Config{Cores: 2})
+		rdd, err := TextFileLines(ctx, fs, "f.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rdd.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("bs=%d: %d lines, want %d", blockSize, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("bs=%d: line %d = %q, want %q", blockSize, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTextFileLinesBoundaryProperty(t *testing.T) {
+	// Property: any block size >= the longest line reproduces the file
+	// exactly once, in order, regardless of where boundaries fall.
+	content, want := linesFixture(60)
+	maxLine := 0
+	for _, l := range want {
+		if len(l)+1 > maxLine {
+			maxLine = len(l) + 1
+		}
+	}
+	check := func(bsRaw uint16) bool {
+		bs := maxLine + int(bsRaw%200)
+		fs := hdfs.New(bs, 1)
+		if err := fs.Write("f.txt", []byte(content), nil); err != nil {
+			return false
+		}
+		ctx := NewContext(Config{Cores: 1})
+		rdd, err := TextFileLines(ctx, fs, "f.txt")
+		if err != nil {
+			return false
+		}
+		got, err := rdd.Collect()
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextFileLinesNoTrailingNewline(t *testing.T) {
+	fs := hdfs.New(8, 1)
+	if err := fs.Write("f.txt", []byte("alpha\nbeta\ngamma"), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(Config{Cores: 1})
+	rdd, err := TextFileLines(ctx, fs, "f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rdd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != "gamma" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTextFileLinesTooLongLine(t *testing.T) {
+	fs := hdfs.New(8, 1)
+	if err := fs.Write("f.txt", []byte(strings.Repeat("a", 40)+"\nshort\n"), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext(Config{Cores: 1})
+	rdd, err := TextFileLines(ctx, fs, "f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rdd.Collect(); err == nil {
+		t.Fatal("line longer than a block accepted")
+	}
+}
+
+func TestTextFileLinesMissingFile(t *testing.T) {
+	ctx := NewContext(Config{Cores: 1})
+	if _, err := TextFileLines(ctx, hdfs.New(8, 1), "missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

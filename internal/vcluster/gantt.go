@@ -1,0 +1,69 @@
+package vcluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the schedule as a per-core ASCII timeline, width
+// characters wide — the quickest way to *see* stragglers, warm-up gaps
+// and speculation when debugging a scheduling experiment.
+//
+//	core 0 |0000000000000000        |
+//	core 1 |111111111111111111111111|
+//	core 2 |22222222                |
+//
+// Each task is drawn with the last character of its decimal ID; idle
+// time is blank. Cores render in index order.
+func (s Schedule) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if s.Makespan <= 0 || len(s.Assignments) == 0 {
+		return "(empty schedule)\n"
+	}
+	perCore := map[int][]Assignment{}
+	maxCore := 0
+	for _, a := range s.Assignments {
+		perCore[a.Core] = append(perCore[a.Core], a)
+		if a.Core > maxCore {
+			maxCore = a.Core
+		}
+	}
+	scale := float64(width) / s.Makespan
+	var sb strings.Builder
+	for core := 0; core <= maxCore; core++ {
+		as := perCore[core]
+		sort.Slice(as, func(i, j int) bool { return as[i].Start < as[j].Start })
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, a := range as {
+			lo := int(a.Start * scale)
+			hi := int(a.Finish * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			id := fmt.Sprintf("%d", a.Task.ID)
+			ch := id[len(id)-1]
+			for i := lo; i < hi; i++ {
+				row[i] = ch
+			}
+		}
+		fmt.Fprintf(&sb, "core %3d |%s|\n", core, row)
+	}
+	fmt.Fprintf(&sb, "          0%sT=%.2fs\n", strings.Repeat(" ", max(0, width-12)), s.Makespan)
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+package vcluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttRendersEveryCore(t *testing.T) {
+	s := Run(uniformTasks(6, 1), Options{Cores: 3})
+	out := s.Gantt(40)
+	for _, want := range []string{"core   0", "core   1", "core   2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "T=") {
+		t.Fatalf("missing makespan footer:\n%s", out)
+	}
+}
+
+func TestGanttShowsBusyAndIdle(t *testing.T) {
+	// One long task, one short: the short task's core must show blank
+	// (idle) tail.
+	tasks := []Task{{ID: 0, Seconds: 10}, {ID: 1, Seconds: 1}}
+	s := Run(tasks, Options{Cores: 2})
+	out := s.Gantt(20)
+	lines := strings.Split(out, "\n")
+	var shortRow string
+	for _, l := range lines {
+		if strings.Contains(l, "1") && strings.Contains(l, "core") && strings.Contains(l, "|") {
+			shortRow = l
+		}
+	}
+	if shortRow == "" {
+		t.Fatalf("short task row missing:\n%s", out)
+	}
+	if !strings.Contains(shortRow, " ") {
+		t.Fatalf("no idle time rendered for short task:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	s := Run(nil, Options{Cores: 2})
+	if out := s.Gantt(20); !strings.Contains(out, "empty") {
+		t.Fatalf("empty schedule rendered as %q", out)
+	}
+}

@@ -1,0 +1,248 @@
+// Package vcluster schedules task durations onto a configurable number
+// of virtual cores and reports the resulting makespan — the simulated
+// "time spent in executors" of the paper's figures.
+//
+// The scheduler mirrors Spark's FIFO within-stage behaviour: tasks are
+// launched in partition order, each onto the core that frees up first.
+// A deterministic per-task straggler multiplier models the paper's
+// t_straggling term (OS jitter, JVM pauses, network hiccups); it is a
+// pure function of (seed, task id), so every run of an experiment
+// produces identical numbers.
+package vcluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"sparkdbscan/internal/rng"
+)
+
+// Task is one schedulable unit: the metered cost of a partition's
+// computation, in seconds.
+type Task struct {
+	ID      int
+	Seconds float64
+}
+
+// Options configures a scheduling round.
+type Options struct {
+	// Cores is the number of virtual cores (p in the paper).
+	Cores int
+	// LaunchOverhead is added to every task (scheduler dispatch cost).
+	LaunchOverhead float64
+	// StragglerFrac scales the per-task straggler stretch: each task
+	// runs 1 + StragglerFrac*E/2 times slower, with E an Exp(1) draw
+	// computed deterministically from Seed and the task ID. The
+	// exponential tail matters: the makespan of a wide stage is set by
+	// the max over p draws, which grows like ln(p) — the behaviour
+	// behind the paper's t_straggling term and the efficiency collapse
+	// of its 512-core runs (Fig. 8e).
+	StragglerFrac float64
+	// Seed drives the deterministic straggler draw.
+	Seed uint64
+	// WarmupPerCore delays every core's first task (e.g. broadcast
+	// deserialization on a fresh executor).
+	WarmupPerCore float64
+	// Speculation enables Spark-style speculative execution: once all
+	// tasks are dispatched, any task whose stretched duration exceeds
+	// SpeculationMultiplier x the median is re-launched on the
+	// earliest idle core with a fresh straggler draw; the attempt that
+	// finishes first wins. This is the standard mitigation for the
+	// paper's t_straggling term and is quantified by the speculation
+	// ablation bench.
+	Speculation bool
+	// SpeculationMultiplier defaults to 1.5 (Spark's
+	// spark.speculation.multiplier).
+	SpeculationMultiplier float64
+}
+
+// Assignment records where and when one task ran.
+type Assignment struct {
+	Task    Task
+	Core    int
+	Start   float64
+	Finish  float64
+	Stretch float64 // straggler multiplier applied
+}
+
+// Schedule is the outcome of scheduling a task set.
+type Schedule struct {
+	Makespan    float64
+	CoreFinish  []float64
+	Assignments []Assignment
+	// IdealSpan is sum(cost)/cores + overheads-free: the perfectly
+	// balanced lower bound, useful for efficiency reporting.
+	IdealSpan float64
+}
+
+type coreHeap struct {
+	free []float64
+	id   []int
+}
+
+func (h *coreHeap) Len() int { return len(h.free) }
+func (h *coreHeap) Less(i, j int) bool {
+	if h.free[i] != h.free[j] {
+		return h.free[i] < h.free[j]
+	}
+	return h.id[i] < h.id[j]
+}
+func (h *coreHeap) Swap(i, j int) {
+	h.free[i], h.free[j] = h.free[j], h.free[i]
+	h.id[i], h.id[j] = h.id[j], h.id[i]
+}
+func (h *coreHeap) Push(x any) { panic("vcluster: fixed-size heap") }
+func (h *coreHeap) Pop() any   { panic("vcluster: fixed-size heap") }
+
+// Run schedules tasks in the given order under opts. It panics if
+// opts.Cores < 1 (a programming error, not an input condition).
+func Run(tasks []Task, opts Options) Schedule {
+	if opts.Cores < 1 {
+		panic(fmt.Sprintf("vcluster: need >= 1 core, got %d", opts.Cores))
+	}
+	h := &coreHeap{
+		free: make([]float64, opts.Cores),
+		id:   make([]int, opts.Cores),
+	}
+	for i := range h.id {
+		h.id[i] = i
+		h.free[i] = opts.WarmupPerCore
+	}
+	heap.Init(h)
+
+	sched := Schedule{
+		CoreFinish:  make([]float64, opts.Cores),
+		Assignments: make([]Assignment, 0, len(tasks)),
+	}
+	var total float64
+	for _, t := range tasks {
+		stretch := 1.0
+		if opts.StragglerFrac > 0 {
+			u := float64(rng.Hash64(opts.Seed^uint64(t.ID)*0x9e3779b97f4a7c15)>>11) / (1 << 53)
+			stretch = 1 + opts.StragglerFrac*(-math.Log(1-u))/2
+		}
+		dur := t.Seconds*stretch + opts.LaunchOverhead
+		start := h.free[0]
+		core := h.id[0]
+		finish := start + dur
+		h.free[0] = finish
+		heap.Fix(h, 0)
+		sched.Assignments = append(sched.Assignments, Assignment{
+			Task: t, Core: core, Start: start, Finish: finish, Stretch: stretch,
+		})
+		total += t.Seconds
+	}
+	if opts.Speculation {
+		speculate(h, &sched, opts)
+	}
+	for i := 0; i < h.Len(); i++ {
+		sched.CoreFinish[h.id[i]] = h.free[i]
+		if h.free[i] > sched.Makespan {
+			sched.Makespan = h.free[i]
+		}
+	}
+	for i := range sched.Assignments {
+		if sched.Assignments[i].Finish > sched.Makespan {
+			sched.Makespan = sched.Assignments[i].Finish
+		}
+	}
+	sched.IdealSpan = total/float64(opts.Cores) + opts.WarmupPerCore
+	return sched
+}
+
+// speculate re-launches outlier tasks on idle cores. A task qualifies
+// when its stretched duration exceeds SpeculationMultiplier times the
+// median task duration. The surviving finish time is the earlier of the
+// original attempt and the clone; the slower attempt is killed at that
+// moment (both cores free then), matching Spark's behaviour.
+func speculate(h *coreHeap, sched *Schedule, opts Options) {
+	mult := opts.SpeculationMultiplier
+	if mult <= 1 {
+		mult = 1.5
+	}
+	n := len(sched.Assignments)
+	if n == 0 {
+		return
+	}
+	durs := make([]float64, n)
+	for i, a := range sched.Assignments {
+		durs[i] = a.Finish - a.Start
+	}
+	sortFloats(durs)
+	median := durs[n/2]
+	if median <= 0 {
+		return
+	}
+	// Work on a plain per-core free-time array; the heap is rebuilt at
+	// the end.
+	free := make([]float64, opts.Cores)
+	for i := 0; i < h.Len(); i++ {
+		free[h.id[i]] = h.free[i]
+	}
+	// Slowest outliers first: they benefit most from the idle cores.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sortByFinishDesc(sched.Assignments, order)
+	for _, idx := range order {
+		a := &sched.Assignments[idx]
+		if a.Finish-a.Start <= mult*median {
+			break // sorted: no later entry qualifies either
+		}
+		clone := 0
+		for c := 1; c < opts.Cores; c++ {
+			if free[c] < free[clone] {
+				clone = c
+			}
+		}
+		if free[clone] >= a.Finish {
+			continue // no idle core early enough to help
+		}
+		// Fresh straggler draw for the clone attempt.
+		u := float64(rng.Hash64(opts.Seed^uint64(a.Task.ID)*0x9e3779b97f4a7c15^0x5bec)>>11) / (1 << 53)
+		stretch := 1.0
+		if opts.StragglerFrac > 0 {
+			stretch = 1 + opts.StragglerFrac*(-math.Log(1-u))/2
+		}
+		cloneFinish := free[clone] + a.Task.Seconds*stretch + opts.LaunchOverhead
+		if cloneFinish < a.Finish {
+			// Clone wins; the original attempt is killed immediately,
+			// freeing its core (only if the original was that core's
+			// last work — true for FIFO tails, which outliers are).
+			if free[a.Core] == a.Finish {
+				free[a.Core] = cloneFinish
+			}
+			free[clone] = cloneFinish
+			a.Finish = cloneFinish
+			a.Core = clone
+			a.Stretch = stretch
+		} else {
+			// Original wins; the clone is killed when it does.
+			free[clone] = a.Finish
+		}
+	}
+	for i := 0; i < h.Len(); i++ {
+		h.free[i] = free[h.id[i]]
+	}
+	heap.Init(h)
+}
+
+func sortFloats(xs []float64) { sort.Float64s(xs) }
+
+func sortByFinishDesc(as []Assignment, order []int) {
+	sort.Slice(order, func(i, j int) bool {
+		return as[order[i]].Finish > as[order[j]].Finish
+	})
+}
+
+// Efficiency returns IdealSpan/Makespan in (0, 1]; 1 means perfectly
+// balanced with zero overhead.
+func (s Schedule) Efficiency() float64 {
+	if s.Makespan == 0 {
+		return 1
+	}
+	return s.IdealSpan / s.Makespan
+}

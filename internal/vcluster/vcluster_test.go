@@ -1,0 +1,211 @@
+package vcluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func uniformTasks(n int, secs float64) []Task {
+	ts := make([]Task, n)
+	for i := range ts {
+		ts[i] = Task{ID: i, Seconds: secs}
+	}
+	return ts
+}
+
+func TestSingleCoreIsSum(t *testing.T) {
+	s := Run(uniformTasks(10, 2), Options{Cores: 1})
+	if math.Abs(s.Makespan-20) > 1e-9 {
+		t.Fatalf("makespan = %g, want 20", s.Makespan)
+	}
+}
+
+func TestPerfectParallelism(t *testing.T) {
+	s := Run(uniformTasks(8, 3), Options{Cores: 8})
+	if math.Abs(s.Makespan-3) > 1e-9 {
+		t.Fatalf("makespan = %g, want 3", s.Makespan)
+	}
+	if eff := s.Efficiency(); math.Abs(eff-1) > 1e-9 {
+		t.Fatalf("efficiency = %g, want 1", eff)
+	}
+}
+
+func TestMoreTasksThanCores(t *testing.T) {
+	// 10 unit tasks on 4 cores: greedy FIFO gives ceil(10/4)=3 units.
+	s := Run(uniformTasks(10, 1), Options{Cores: 4})
+	if math.Abs(s.Makespan-3) > 1e-9 {
+		t.Fatalf("makespan = %g, want 3", s.Makespan)
+	}
+}
+
+func TestLaunchOverheadAdds(t *testing.T) {
+	s := Run(uniformTasks(4, 1), Options{Cores: 1, LaunchOverhead: 0.5})
+	if math.Abs(s.Makespan-6) > 1e-9 {
+		t.Fatalf("makespan = %g, want 6", s.Makespan)
+	}
+}
+
+func TestWarmupDelaysEveryCore(t *testing.T) {
+	s := Run(uniformTasks(2, 1), Options{Cores: 2, WarmupPerCore: 10})
+	if math.Abs(s.Makespan-11) > 1e-9 {
+		t.Fatalf("makespan = %g, want 11", s.Makespan)
+	}
+}
+
+func TestStragglerStretch(t *testing.T) {
+	s := Run(uniformTasks(100, 1), Options{Cores: 100, StragglerFrac: 0.3, Seed: 5})
+	// Exp(1)/2 tail at frac 0.3: typical stretch ~1.15, max over 100
+	// draws ~1 + 0.3*ln(100)/2 ~ 1.7; anything past 3 would mean the
+	// tail is broken.
+	if s.Makespan < 1 || s.Makespan > 3 {
+		t.Fatalf("makespan with 30%% straggling = %g", s.Makespan)
+	}
+	var sum float64
+	for _, a := range s.Assignments {
+		if a.Stretch < 1 {
+			t.Fatalf("stretch %g below 1", a.Stretch)
+		}
+		sum += a.Stretch
+	}
+	mean := sum / float64(len(s.Assignments))
+	if mean < 1.05 || mean > 1.35 {
+		t.Fatalf("mean stretch %g outside [1.05, 1.35] for frac 0.3", mean)
+	}
+	// The makespan is the max over cores, which must exceed the mean
+	// stretch — the straggler effect the model exists to capture.
+	if s.Makespan <= mean {
+		t.Fatalf("makespan %g not dominated by stragglers (mean %g)", s.Makespan, mean)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	opts := Options{Cores: 7, StragglerFrac: 0.2, Seed: 11, LaunchOverhead: 0.01}
+	a := Run(uniformTasks(50, 1), opts)
+	b := Run(uniformTasks(50, 1), opts)
+	if a.Makespan != b.Makespan {
+		t.Fatalf("nondeterministic: %g vs %g", a.Makespan, b.Makespan)
+	}
+	opts.Seed = 12
+	c := Run(uniformTasks(50, 1), opts)
+	if c.Makespan == a.Makespan {
+		t.Fatal("seed had no effect")
+	}
+}
+
+func TestSkewedTasksDominate(t *testing.T) {
+	tasks := uniformTasks(9, 1)
+	tasks = append(tasks, Task{ID: 9, Seconds: 100})
+	s := Run(tasks, Options{Cores: 10})
+	if s.Makespan < 100 {
+		t.Fatalf("makespan %g below the straggler task", s.Makespan)
+	}
+	if s.Efficiency() > 0.2 {
+		t.Fatalf("efficiency %g should be terrible under skew", s.Efficiency())
+	}
+}
+
+func TestMakespanProperties(t *testing.T) {
+	check := func(seed uint64, coresRaw uint8, costs []uint16) bool {
+		cores := int(coresRaw%16) + 1
+		tasks := make([]Task, len(costs))
+		var total, maxTask float64
+		for i, c := range costs {
+			sec := float64(c%1000) / 100
+			tasks[i] = Task{ID: i, Seconds: sec}
+			total += sec
+			if sec > maxTask {
+				maxTask = sec
+			}
+		}
+		s := Run(tasks, Options{Cores: cores, Seed: seed})
+		// Makespan bounds for list scheduling without jitter: at least
+		// max(total/cores, maxTask), at most total.
+		lower := total / float64(cores)
+		if maxTask > lower {
+			lower = maxTask
+		}
+		return s.Makespan >= lower-1e-9 && s.Makespan <= total+1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentsAreConsistent(t *testing.T) {
+	s := Run(uniformTasks(20, 1), Options{Cores: 3, LaunchOverhead: 0.1})
+	if len(s.Assignments) != 20 {
+		t.Fatalf("%d assignments", len(s.Assignments))
+	}
+	// Per core, assignments must not overlap in time.
+	perCore := map[int][]Assignment{}
+	for _, a := range s.Assignments {
+		if a.Finish <= a.Start {
+			t.Fatalf("empty-duration assignment %+v", a)
+		}
+		perCore[a.Core] = append(perCore[a.Core], a)
+	}
+	for core, as := range perCore {
+		for i := 1; i < len(as); i++ {
+			if as[i].Start < as[i-1].Finish-1e-9 {
+				t.Fatalf("core %d: overlapping tasks %+v / %+v", core, as[i-1], as[i])
+			}
+		}
+	}
+}
+
+func TestSpeculationRescuesStragglers(t *testing.T) {
+	// One core gets a monstrous straggler; with speculation an idle
+	// core re-runs it and the makespan drops.
+	tasks := uniformTasks(16, 1)
+	base := Options{Cores: 16, StragglerFrac: 4, Seed: 77}
+	plain := Run(tasks, base)
+	spec := base
+	spec.Speculation = true
+	speculated := Run(tasks, spec)
+	if speculated.Makespan >= plain.Makespan {
+		t.Fatalf("speculation did not help: %.3f vs %.3f", speculated.Makespan, plain.Makespan)
+	}
+	// Speculation must never be worse than no speculation by more than
+	// numerical noise (clones only replace finishes when they win).
+	if speculated.Makespan > plain.Makespan+1e-9 {
+		t.Fatal("speculation made the schedule worse")
+	}
+}
+
+func TestSpeculationNoOpWithoutOutliers(t *testing.T) {
+	tasks := uniformTasks(8, 1)
+	base := Options{Cores: 8, Seed: 3} // no straggler spread at all
+	plain := Run(tasks, base)
+	spec := base
+	spec.Speculation = true
+	speculated := Run(tasks, spec)
+	if math.Abs(speculated.Makespan-plain.Makespan) > 1e-12 {
+		t.Fatalf("speculation changed a uniform schedule: %g vs %g",
+			speculated.Makespan, plain.Makespan)
+	}
+}
+
+func TestSpeculationDeterministic(t *testing.T) {
+	tasks := uniformTasks(32, 2)
+	opts := Options{Cores: 32, StragglerFrac: 2, Seed: 9, Speculation: true}
+	if a, b := Run(tasks, opts).Makespan, Run(tasks, opts).Makespan; a != b {
+		t.Fatalf("nondeterministic speculation: %g vs %g", a, b)
+	}
+}
+
+func TestZeroCoresPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Cores=0 did not panic")
+		}
+	}()
+	Run(nil, Options{Cores: 0})
+}
+
+func TestNoTasks(t *testing.T) {
+	s := Run(nil, Options{Cores: 4})
+	if s.Makespan != 0 {
+		t.Fatalf("empty schedule makespan %g", s.Makespan)
+	}
+}

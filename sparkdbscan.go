@@ -1,0 +1,279 @@
+// Package sparkdbscan is a Go reproduction of "A novel scalable DBSCAN
+// algorithm with Spark" (Han, Agrawal, Liao, Choudhary — IPDPSW 2016).
+//
+// It provides:
+//
+//   - sequential DBSCAN over a kd-tree (the paper's Algorithm 1),
+//   - the paper's distributed formulation: index-range partitioning,
+//     communication-free per-executor clustering with SEED markers
+//     (Algorithms 2–3), and driver-side merging (Algorithm 4),
+//   - the substrates the paper runs on, rebuilt in Go: a Spark-like
+//     driver/executor runtime with RDDs, broadcasts and accumulators, a
+//     MapReduce runtime for the baseline comparison, a simulated HDFS,
+//     and a virtual cluster that reproduces the paper's up-to-512-core
+//     timing experiments on a laptop,
+//   - the IBM-Quest-style synthetic workloads of Table I, and
+//   - a benchmark harness regenerating every table and figure of the
+//     paper's evaluation (see internal/bench and cmd/benchrunner).
+//
+// This file is the façade the examples and command-line tools use:
+// dataset construction and I/O, sequential and distributed clustering,
+// and a compact result type.
+package sparkdbscan
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"sparkdbscan/internal/core"
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdist"
+	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/quest"
+	"sparkdbscan/internal/spark"
+)
+
+// Dataset is a fixed-dimension point collection. Point i's coordinates
+// live at Coords[i*Dim:(i+1)*Dim]; the optional Label slice carries
+// ground truth for evaluation.
+type Dataset = geom.Dataset
+
+// NewDataset allocates an empty dataset of n points in dim dimensions.
+func NewDataset(n, dim int) *Dataset { return geom.NewDataset(n, dim) }
+
+// Noise is the label assigned to unclustered points.
+const Noise = dbscan.Noise
+
+// Config configures a distributed clustering run.
+type Config struct {
+	// Eps is the neighbourhood radius; MinPts the density threshold.
+	Eps    float64
+	MinPts int
+	// Cores is the (virtual) cluster size; 0 means 1.
+	Cores int
+	// Partitions defaults to Cores, matching the paper.
+	Partitions int
+	// PaperFidelity selects the paper's exact algorithm variants: one
+	// SEED per foreign partition per partial cluster (Algorithm 3) and
+	// the single-pass Algorithm 4 merge. The default (false) uses the
+	// robust variants — every foreign boundary point becomes a SEED
+	// and the merge is a union-find — which never split a true cluster
+	// and never drop a reachable border point to noise, at no extra
+	// query cost. (A third mode that is exact even on clusters sharing
+	// border points, at one extra counting query per foreign
+	// neighbour, lives in internal/core as SeedCore.)
+	PaperFidelity bool
+	// MaxNeighbors > 0 enables pruned ("pruning branches") search.
+	MaxNeighbors int
+	// MinLocalClusterSize > 1 drops tiny partial clusters on the
+	// executors (the paper's large-dataset filter).
+	MinLocalClusterSize int
+	// SpatialPartitioning reorders points along a Z-order curve before
+	// index-range partitioning, implementing the paper's future-work
+	// suggestion of neighbourhood-aware partitioning. It slashes the
+	// partial-cluster count (and with it merge cost) at high core
+	// counts; returned labels always refer to the caller's point
+	// order.
+	SpatialPartitioning bool
+	// RealTime switches timing from the calibrated virtual cluster to
+	// wall-clock goroutine execution (Cores then should not exceed the
+	// host CPU count).
+	RealTime bool
+	// Seed feeds the deterministic straggler model.
+	Seed uint64
+}
+
+// Timing is the per-phase time decomposition of a run, in (simulated or
+// wall-clock) seconds.
+type Timing struct {
+	ReadTransform float64 // Δ: ingest + RDD transform
+	TreeBuild     float64 // kd-tree construction in the driver
+	Broadcast     float64 // driver-side broadcast serialization
+	Executors     float64 // parallel local clustering (stage makespan)
+	Merge         float64 // driver-side partial-cluster merge
+}
+
+// Driver returns the driver-side share.
+func (t Timing) Driver() float64 {
+	return t.ReadTransform + t.TreeBuild + t.Broadcast + t.Merge
+}
+
+// Total returns driver + executor time.
+func (t Timing) Total() float64 { return t.Driver() + t.Executors }
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Labels assigns each point a cluster id in [0, NumClusters) or
+	// Noise.
+	Labels      []int32
+	NumClusters int
+	NumNoise    int
+	// PartialClusters is how many executor-local clusters existed
+	// before merging (0 for sequential runs).
+	PartialClusters int
+	// Timing decomposes the run's cost (zero for sequential runs
+	// except Executors, which holds the whole run).
+	Timing Timing
+}
+
+// ClusterSizes returns the member count per cluster id.
+func (r *Result) ClusterSizes() []int {
+	sizes := make([]int, r.NumClusters)
+	for _, l := range r.Labels {
+		if l >= 0 {
+			sizes[l]++
+		}
+	}
+	return sizes
+}
+
+// Members returns the point indices belonging to cluster id.
+func (r *Result) Members(id int32) []int32 {
+	var out []int32
+	for i, l := range r.Labels {
+		if l == id {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// Cluster runs the paper's distributed DBSCAN on ds.
+func Cluster(ds *Dataset, cfg Config) (*Result, error) {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	mode := spark.Virtual
+	if cfg.RealTime {
+		mode = spark.Real
+	}
+	sctx := spark.NewContext(spark.Config{
+		Cores: cfg.Cores,
+		Mode:  mode,
+		Seed:  cfg.Seed,
+	})
+	seedMode := core.SeedAll
+	mergeAlgo := core.MergeUnionFind
+	if cfg.PaperFidelity {
+		seedMode = core.SeedSingle
+		mergeAlgo = core.MergePaper
+	}
+	res, err := core.Run(sctx, ds, core.Config{
+		Params:              dbscan.Params{Eps: cfg.Eps, MinPts: cfg.MinPts},
+		Partitions:          cfg.Partitions,
+		SeedMode:            seedMode,
+		Merge:               core.MergeOptions{Algo: mergeAlgo},
+		MaxNeighbors:        cfg.MaxNeighbors,
+		MinLocalClusterSize: cfg.MinLocalClusterSize,
+		SpatialPartitioning: cfg.SpatialPartitioning,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Labels:          res.Global.Labels,
+		NumClusters:     res.Global.NumClusters,
+		NumNoise:        res.Global.NumNoise,
+		PartialClusters: res.Global.NumPartialClusters,
+		Timing: Timing{
+			ReadTransform: res.Phases.ReadTransform,
+			TreeBuild:     res.Phases.TreeBuild,
+			Broadcast:     res.Phases.Broadcast,
+			Executors:     res.Phases.Executors,
+			Merge:         res.Phases.Merge,
+		},
+	}, nil
+}
+
+// ClusterSequential runs the reference single-threaded DBSCAN
+// (Algorithm 1) over a kd-tree.
+func ClusterSequential(ds *Dataset, eps float64, minPts int) (*Result, error) {
+	tree := kdtree.Build(ds)
+	res, err := dbscan.Run(ds, tree, dbscan.Params{Eps: eps, MinPts: minPts})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Labels:      res.Labels,
+		NumClusters: res.NumClusters,
+		NumNoise:    res.NumNoise,
+	}, nil
+}
+
+// Generate builds one of the paper's Table I synthetic datasets by name
+// (c10k, c100k, r10k, r100k, r1m), optionally scaled down to about
+// maxPoints (0 keeps the full size).
+func Generate(name string, maxPoints int) (*Dataset, error) {
+	spec, err := quest.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if maxPoints > 0 {
+		spec = spec.Scaled(maxPoints)
+	}
+	return quest.Generate(spec)
+}
+
+// TableIParams returns the eps and minPts every Table I dataset uses.
+func TableIParams() (eps float64, minPts int) {
+	return quest.TableIEps, quest.TableIMinPts
+}
+
+// SuggestEps estimates a good eps for the given minPts using the
+// original DBSCAN paper's k-distance heuristic (k = minPts-1): the
+// elbow of the sorted k-distance plot. The computation is distributed
+// over cores virtual cores. It also returns an estimate of the data's
+// noise fraction (points left of the elbow).
+func SuggestEps(ds *Dataset, minPts, cores int) (eps, noiseFrac float64, err error) {
+	if minPts < 2 {
+		return 0, 0, fmt.Errorf("sparkdbscan: SuggestEps needs minPts >= 2, got %d", minPts)
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	sctx := spark.NewContext(spark.Config{Cores: cores})
+	kd, err := kdist.ComputeDistributed(sctx, ds, minPts-1, cores)
+	if err != nil {
+		return 0, 0, err
+	}
+	return kdist.SuggestEps(kd)
+}
+
+// LoadDataset reads a dataset from path. Files ending in .bin use the
+// binary format; everything else is parsed as text (one point per line,
+// whitespace- or comma-separated, optional trailing "#label").
+func LoadDataset(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return geom.ReadBinary(f)
+	}
+	return geom.ReadText(f)
+}
+
+// SaveDataset writes ds to path, choosing the format by extension as in
+// LoadDataset.
+func SaveDataset(ds *Dataset, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".bin") {
+		werr = geom.WriteBinary(f, ds)
+	} else {
+		werr = geom.WriteText(f, ds)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("sparkdbscan: saving %s: %w", path, werr)
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package sparkdbscan
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate("c10k", 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestClusterMatchesSequential(t *testing.T) {
+	ds := smallDataset(t)
+	eps, minPts := TableIParams()
+	seq, err := ClusterSequential(ds, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.NumClusters != seq.NumClusters || par.NumNoise != seq.NumNoise {
+		t.Fatalf("parallel (%d clusters, %d noise) != sequential (%d, %d)",
+			par.NumClusters, par.NumNoise, seq.NumClusters, seq.NumNoise)
+	}
+	// Co-clustering agreement (labels may be permuted).
+	mapping := map[int32]int32{}
+	for i := range par.Labels {
+		pl, sl := par.Labels[i], seq.Labels[i]
+		if (pl == Noise) != (sl == Noise) {
+			t.Fatalf("point %d: noise disagreement", i)
+		}
+		if pl == Noise {
+			continue
+		}
+		if prev, ok := mapping[sl]; ok && prev != pl {
+			t.Fatalf("point %d: cluster %d mapped to both %d and %d", i, sl, prev, pl)
+		}
+		mapping[sl] = pl
+	}
+}
+
+func TestClusterPaperFidelity(t *testing.T) {
+	ds := smallDataset(t)
+	eps, minPts := TableIParams()
+	res, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 4, PaperFidelity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters == 0 || res.PartialClusters < res.NumClusters {
+		t.Fatalf("paper mode: %d clusters from %d partials", res.NumClusters, res.PartialClusters)
+	}
+}
+
+func TestTimingPopulated(t *testing.T) {
+	ds := smallDataset(t)
+	eps, minPts := TableIParams()
+	res, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := res.Timing
+	if tm.Executors <= 0 || tm.TreeBuild <= 0 || tm.Merge <= 0 || tm.ReadTransform <= 0 {
+		t.Fatalf("timing gaps: %+v", tm)
+	}
+	if tm.Total() != tm.Driver()+tm.Executors {
+		t.Fatal("Total != Driver + Executors")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	ds := smallDataset(t)
+	eps, minPts := TableIParams()
+	res, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := res.ClusterSizes()
+	if len(sizes) != res.NumClusters {
+		t.Fatalf("%d sizes for %d clusters", len(sizes), res.NumClusters)
+	}
+	total := 0
+	for id, sz := range sizes {
+		if sz == 0 {
+			t.Fatalf("cluster %d empty", id)
+		}
+		if got := len(res.Members(int32(id))); got != sz {
+			t.Fatalf("Members(%d) = %d, size %d", id, got, sz)
+		}
+		total += sz
+	}
+	if total+res.NumNoise != ds.Len() {
+		t.Fatalf("sizes %d + noise %d != %d", total, res.NumNoise, ds.Len())
+	}
+}
+
+func TestGenerateUnknownName(t *testing.T) {
+	if _, err := Generate("bogus", 0); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ds := smallDataset(t)
+	dir := t.TempDir()
+	for _, name := range []string{"d.txt", "d.bin"} {
+		path := filepath.Join(dir, name)
+		if err := SaveDataset(ds, path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadDataset(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != ds.Len() || got.Dim != ds.Dim {
+			t.Fatalf("%s: shape (%d,%d)", name, got.Len(), got.Dim)
+		}
+		for i := range ds.Coords {
+			if got.Coords[i] != ds.Coords[i] {
+				t.Fatalf("%s: coord %d differs", name, i)
+			}
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := LoadDataset(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	if _, err := os.Stat("nope.txt"); err == nil {
+		t.Fatal("test polluted the working directory")
+	}
+}
+
+func TestRealTimeMode(t *testing.T) {
+	ds := smallDataset(t)
+	eps, minPts := TableIParams()
+	res, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 1, RealTime: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters == 0 {
+		t.Fatal("real-time mode found nothing")
+	}
+	if res.Timing.Executors <= 0 {
+		t.Fatal("real-time mode reported no executor time")
+	}
+}
+
+func TestSuggestEps(t *testing.T) {
+	ds := smallDataset(t)
+	eps, noiseFrac, err := SuggestEps(ds, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps <= 0 || noiseFrac < 0 || noiseFrac > 0.5 {
+		t.Fatalf("SuggestEps = (%g, %g)", eps, noiseFrac)
+	}
+	// The suggestion must produce a usable clustering.
+	res, err := Cluster(ds, Config{Eps: eps, MinPts: 5, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters == 0 {
+		t.Fatal("suggested eps found no clusters")
+	}
+	if _, _, err := SuggestEps(ds, 1, 1); err == nil {
+		t.Fatal("minPts=1 accepted")
+	}
+}
+
+func TestClusterEmptyDataset(t *testing.T) {
+	ds := NewDataset(0, 3)
+	res, err := Cluster(ds, Config{Eps: 1, MinPts: 2, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 || res.NumNoise != 0 || len(res.Labels) != 0 {
+		t.Fatalf("empty dataset produced %+v", res)
+	}
+}
+
+func TestClusterMorePartitionsThanPoints(t *testing.T) {
+	ds, err := Generate("c10k", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, minPts := TableIParams()
+	res, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 8, Partitions: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 50 {
+		t.Fatalf("labels %d", len(res.Labels))
+	}
+}
+
+func TestSpatialPartitioningFacade(t *testing.T) {
+	ds := smallDataset(t)
+	eps, minPts := TableIParams()
+	plain, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spatial, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 8, SpatialPartitioning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spatial.NumClusters != plain.NumClusters || spatial.NumNoise != plain.NumNoise {
+		t.Fatalf("spatial changed structure: %d/%d vs %d/%d",
+			spatial.NumClusters, spatial.NumNoise, plain.NumClusters, plain.NumNoise)
+	}
+	if spatial.PartialClusters >= plain.PartialClusters {
+		t.Fatalf("spatial partials %d not below plain %d",
+			spatial.PartialClusters, plain.PartialClusters)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	ds := smallDataset(t)
+	if _, err := Cluster(ds, Config{Eps: 0, MinPts: 5}); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := ClusterSequential(ds, 25, 0); err == nil {
+		t.Fatal("minPts=0 accepted")
+	}
+}
