@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/rng"
+)
+
+// The kd-tree engine benchmark is the one harness entry that measures
+// host wall-clock rather than simulated time: it compares the packed
+// query engine against the retained pre-change implementation
+// (kdtree.LegacyTree) on the workload shape the executors actually
+// run — a full pass querying every point of a clustered dataset once,
+// which is exactly LocalDBSCAN's access pattern. Arms are interleaved
+// within each repetition and the best repetition is reported, so slow
+// host noise (shared machines, frequency scaling) inflates both arms
+// or neither.
+
+// KDBenchCell is one (operation, dataset) comparison.
+type KDBenchCell struct {
+	Op               string  `json:"op"`
+	Dim              int     `json:"dim"`
+	N                int     `json:"n"`
+	Eps              float64 `json:"eps"`
+	Queries          int     `json:"queries"`
+	PackedNsPerQuery float64 `json:"packed_ns_per_query"`
+	LegacyNsPerQuery float64 `json:"legacy_ns_per_query"`
+	Speedup          float64 `json:"speedup"`
+}
+
+// KDBenchBuild is one dataset's build-time comparison. The packed build
+// is parallel (bounded pool, bit-identical output); the legacy build is
+// the serial pre-change code.
+type KDBenchBuild struct {
+	Dim               int     `json:"dim"`
+	N                 int     `json:"n"`
+	PackedBuildMs     float64 `json:"packed_build_ms"`
+	LegacyBuildMs     float64 `json:"legacy_build_ms"`
+	PackedMemoryBytes int64   `json:"packed_memory_bytes"`
+}
+
+// KDBenchReport is the BENCH_kdtree.json payload.
+type KDBenchReport struct {
+	Method   string         `json:"method"`
+	GoOS     string         `json:"goos"`
+	GoArch   string         `json:"goarch"`
+	MaxProcs int            `json:"maxprocs"`
+	Reps     int            `json:"reps"`
+	Builds   []KDBenchBuild `json:"builds"`
+	Cells    []KDBenchCell  `json:"cells"`
+}
+
+// kdBenchDataset mirrors the microbenchmark corpus in
+// internal/kdtree/kdtree_bench_test.go: Table-I-shaped clusters
+// (n/1000 clusters of ~1000 points, σ=8) in a 1000-unit box.
+func kdBenchDataset(n, dim int) *geom.Dataset {
+	clusters := n / 1000
+	if clusters < 1 {
+		clusters = 1
+	}
+	r := rng.New(uint64(n + dim))
+	ds := geom.NewDataset(n, dim)
+	centers := make([][]float64, clusters)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = r.Float64() * 1000
+		}
+	}
+	for i := 0; i < n; i++ {
+		c := centers[i%clusters]
+		for j := 0; j < dim; j++ {
+			ds.Coords[i*dim+j] = c[j] + r.NormFloat64()*8
+		}
+	}
+	return ds
+}
+
+// kdBenchEps matches the microbenchmarks: the paper's Table I radius
+// for its d=10 data, a radius with comparable selectivity for d=2.
+func kdBenchEps(dim int) float64 {
+	if dim == 10 {
+		return 25
+	}
+	return 4
+}
+
+// fullPass runs op once per dataset point and returns the total
+// wall-clock time.
+func fullPass(idx kdtree.Index, ds *geom.Dataset, eps float64, op string) time.Duration {
+	var out []int32
+	start := time.Now()
+	for i := int32(0); i < int32(ds.Len()); i++ {
+		q := ds.At(i)
+		switch op {
+		case "Radius":
+			out = idx.Radius(q, eps, out[:0], nil)
+		case "RadiusCount":
+			idx.RadiusCount(q, eps, nil)
+		case "RadiusLimit":
+			out = idx.RadiusLimit(q, eps, 32, out[:0], nil)
+		}
+	}
+	return time.Since(start)
+}
+
+var kdBenchOps = []string{"Radius", "RadiusCount", "RadiusLimit"}
+
+// RunKDBench benchmarks the packed kd-tree against the pre-change tree
+// and, when jsonPath is non-empty, writes the report there.
+func RunKDBench(w io.Writer, jsonPath string, reps int) error {
+	if reps < 1 {
+		reps = 3
+	}
+	report := KDBenchReport{
+		Method: "full pass: every dataset point queried once per (op, arm); " +
+			"arms interleaved per repetition, best repetition reported",
+		GoOS:     runtime.GOOS,
+		GoArch:   runtime.GOARCH,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		Reps:     reps,
+	}
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "op\td\tn\teps\tpacked ns/q\tlegacy ns/q\tspeedup")
+	for _, dim := range []int{2, 10} {
+		for _, n := range []int{10_000, 100_000} {
+			ds := kdBenchDataset(n, dim)
+			eps := kdBenchEps(dim)
+
+			var packed *kdtree.Tree
+			var legacy *kdtree.LegacyTree
+			build := KDBenchBuild{Dim: dim, N: n}
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				packed = kdtree.Build(ds)
+				pms := float64(time.Since(start).Nanoseconds()) / 1e6
+				start = time.Now()
+				legacy = kdtree.BuildLegacy(ds)
+				lms := float64(time.Since(start).Nanoseconds()) / 1e6
+				if rep == 0 || pms < build.PackedBuildMs {
+					build.PackedBuildMs = pms
+				}
+				if rep == 0 || lms < build.LegacyBuildMs {
+					build.LegacyBuildMs = lms
+				}
+			}
+			build.PackedMemoryBytes = packed.MemoryBytes()
+			report.Builds = append(report.Builds, build)
+
+			for _, op := range kdBenchOps {
+				cell := KDBenchCell{Op: op, Dim: dim, N: n, Eps: eps, Queries: ds.Len()}
+				for rep := 0; rep < reps; rep++ {
+					p := fullPass(packed, ds, eps, op)
+					l := fullPass(legacy, ds, eps, op)
+					pns := float64(p.Nanoseconds()) / float64(ds.Len())
+					lns := float64(l.Nanoseconds()) / float64(ds.Len())
+					if rep == 0 || pns < cell.PackedNsPerQuery {
+						cell.PackedNsPerQuery = pns
+					}
+					if rep == 0 || lns < cell.LegacyNsPerQuery {
+						cell.LegacyNsPerQuery = lns
+					}
+				}
+				cell.Speedup = cell.LegacyNsPerQuery / cell.PackedNsPerQuery
+				report.Cells = append(report.Cells, cell)
+				fmt.Fprintf(tw, "%s\t%d\t%d\t%g\t%.0f\t%.0f\t%.2fx\n",
+					op, dim, n, eps, cell.PackedNsPerQuery, cell.LegacyNsPerQuery, cell.Speedup)
+			}
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", jsonPath)
+	return nil
+}

@@ -165,13 +165,18 @@ func RunBench(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp   = fs.String("exp", "all", "experiment id, comma-separated list, or 'all'")
-		scale = fs.Float64("scale", 1.0, "dataset scale factor in (0, 1]")
-		list  = fs.Bool("list", false, "list experiments and exit")
-		seed  = fs.Uint64("seed", 0, "straggler seed (0 = default)")
+		exp     = fs.String("exp", "all", "experiment id, comma-separated list, or 'all'")
+		scale   = fs.Float64("scale", 1.0, "dataset scale factor in (0, 1]")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		seed    = fs.Uint64("seed", 0, "straggler seed (0 = default)")
+		kdbench = fs.String("kdbench", "", "run the kd-tree engine wall-clock benchmark, write JSON to this path (e.g. BENCH_kdtree.json), and exit")
+		kdreps  = fs.Int("kdreps", 3, "repetitions per kd-tree benchmark cell")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *kdbench != "" {
+		return bench.RunKDBench(stdout, *kdbench, *kdreps)
 	}
 	if *list {
 		for _, e := range bench.All() {

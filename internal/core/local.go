@@ -83,9 +83,35 @@ func LocalDBSCAN(ds *geom.Dataset, idx kdtree.Index, part Partitioner, split int
 	for i := range clusterOf {
 		clusterOf[i] = -1
 	}
-	coreSeen := make(map[int32]bool) // SeedCore: foreign point -> is core (memoised)
+
+	// Algorithm 3 per-cluster state, allocation-free across clusters:
+	// instead of a fresh map per partial cluster, one epoch-stamped
+	// array per mode is allocated up front and "cleared" by bumping the
+	// epoch (the cluster's Seq+1, never zero). A slot whose stamp
+	// differs from the current epoch is unseen for this cluster.
+	var seedPlaced []int32  // SeedSingle: one stamp per partition
+	var foreignSeen []int32 // SeedAll/SeedCore: one stamp per point
+	switch opts.SeedMode {
+	case SeedSingle:
+		seedPlaced = make([]int32, part.Parts())
+	default:
+		foreignSeen = make([]int32, ds.Len())
+	}
+	// SeedCore memoisation is partition-lifetime, not per-cluster:
+	// 0 = unknown, 1 = core, 2 = non-core.
+	var coreSeen []uint8
+	if opts.SeedMode == SeedCore {
+		coreSeen = make([]uint8, ds.Len())
+	}
 
 	var queue dbscan.Queue
+	// neighbors is the single reusable query buffer. Invariant: every
+	// read of a query's result (queue pushes, the minPts test) happens
+	// before the next query call, because query recycles neighbors[:0]
+	// and overwrites the previous result in place. The BFS frontier
+	// itself lives in queue, which copies the values, so requerying
+	// while the frontier is still draining is safe — see
+	// TestLocalDBSCANNeighborBufferReuse.
 	var neighbors []int32
 	w := &res.Work
 
@@ -115,15 +141,9 @@ func LocalDBSCAN(ds *geom.Dataset, idx kdtree.Index, part Partitioner, split int
 		}
 		clusterOf[li] = pc.Seq
 		pc.Members = append(pc.Members, i)
-		// Algorithm 3 per-cluster state: one place flag per foreign
-		// partition (SeedSingle) or a seen-set (SeedAll/SeedCore).
-		var seedPlaced map[int]bool
-		var foreignSeen map[int32]bool
-		if opts.SeedMode == SeedSingle {
-			seedPlaced = make(map[int]bool)
-		} else {
-			foreignSeen = make(map[int32]bool)
-		}
+		// Opening a new cluster invalidates the previous cluster's
+		// seed/seen stamps in O(1).
+		epoch := pc.Seq + 1
 
 		queue.Reset()
 		for _, nb := range neighbors {
@@ -141,25 +161,29 @@ func LocalDBSCAN(ds *geom.Dataset, idx kdtree.Index, part Partitioner, split int
 				switch opts.SeedMode {
 				case SeedSingle:
 					owner := part.Owner(p)
-					if !seedPlaced[owner] {
-						seedPlaced[owner] = true
+					if seedPlaced[owner] != epoch {
+						seedPlaced[owner] = epoch
 						pc.Seeds = append(pc.Seeds, p)
 					}
 				case SeedAll:
-					if !foreignSeen[p] {
-						foreignSeen[p] = true
+					if foreignSeen[p] != epoch {
+						foreignSeen[p] = epoch
 						pc.Seeds = append(pc.Seeds, p)
 					}
 				case SeedCore:
-					if !foreignSeen[p] {
-						foreignSeen[p] = true
-						isCore, known := coreSeen[p]
-						if !known {
+					if foreignSeen[p] != epoch {
+						foreignSeen[p] = epoch
+						st := coreSeen[p]
+						if st == 0 {
 							cnt := idx.RadiusCount(ds.At(p), eps, &res.Stats)
-							isCore = cnt >= minPts
-							coreSeen[p] = isCore
+							if cnt >= minPts {
+								st = 1
+							} else {
+								st = 2
+							}
+							coreSeen[p] = st
 						}
-						if isCore {
+						if st == 1 {
 							pc.Seeds = append(pc.Seeds, p)
 						} else {
 							pc.Borders = append(pc.Borders, p)
@@ -213,6 +237,7 @@ func LocalDBSCAN(ds *geom.Dataset, idx kdtree.Index, part Partitioner, split int
 	}
 	// Fold the index work into the ledger.
 	w.KDNodes += res.Stats.NodesVisited
+	w.KDIncluded += res.Stats.NodesIncluded
 	w.DistComps += res.Stats.DistComps
 	return res, nil
 }

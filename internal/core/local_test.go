@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+)
+
+// TestLocalDBSCANNeighborBufferReuse locks in the invariant documented
+// in LocalDBSCAN: the single reusable neighbour buffer is overwritten
+// in place by every query, so all reads of a query result must happen
+// before the next query — while the BFS frontier, which outlives many
+// queries, must hold copies. The workload is built to make any aliasing
+// slip corrupt the output: long chains where each expansion query
+// overwrites the buffer dozens of hops before the frontier entries
+// pushed from it are drained. With one partition there are no foreign
+// points, so LocalDBSCAN must reproduce plain sequential DBSCAN's
+// clusters exactly.
+func TestLocalDBSCANNeighborBufferReuse(t *testing.T) {
+	// Two chains of 400 points each, spaced 10 apart along x with
+	// eps=25: every neighbourhood is the 5-point window around a point
+	// (= minPts), so each cluster is only reachable through ~200
+	// successive expansion queries. The chains are 1e6 apart in y, and
+	// three isolated points stay noise.
+	const (
+		chainLen = 400
+		spacing  = 10.0
+	)
+	n := 2*chainLen + 3
+	ds := geom.NewDataset(n, 2)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < chainLen; i++ {
+			p := c*chainLen + i
+			ds.Coords[2*p] = float64(i) * spacing
+			ds.Coords[2*p+1] = float64(c) * 1e6
+		}
+	}
+	for i := 0; i < 3; i++ {
+		p := 2*chainLen + i
+		ds.Coords[2*p] = float64(i) * 1e4
+		ds.Coords[2*p+1] = 5e5
+	}
+
+	params := dbscan.Params{Eps: 25, MinPts: 5}
+	tree := kdtree.Build(ds)
+	ref, err := dbscan.Run(ds, tree, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.NumClusters != 2 || ref.NumNoise != 3 {
+		t.Fatalf("reference run found %d clusters, %d noise; want 2, 3",
+			ref.NumClusters, ref.NumNoise)
+	}
+
+	part, err := NewPartitioner(ds.Len(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxNeighbors := range []int{0, 5} {
+		lr, err := LocalDBSCAN(ds, tree, part, 0, LocalOptions{
+			Params:       params,
+			SeedMode:     SeedSingle,
+			MaxNeighbors: maxNeighbors,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lr.Clusters) != ref.NumClusters {
+			t.Fatalf("maxNeighbors=%d: got %d partial clusters, want %d",
+				maxNeighbors, len(lr.Clusters), ref.NumClusters)
+		}
+		for _, pc := range lr.Clusters {
+			if len(pc.Seeds) != 0 {
+				t.Fatalf("maxNeighbors=%d: single-partition run placed seeds: %v",
+					maxNeighbors, pc.Seeds)
+			}
+			// Every member must carry the same reference label, and the
+			// member set must be that label's full cluster.
+			want := ref.Labels[pc.Members[0]]
+			got := append([]int32(nil), pc.Members...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			var exp []int32
+			for p, l := range ref.Labels {
+				if l == want {
+					exp = append(exp, int32(p))
+				}
+			}
+			if len(got) != len(exp) {
+				t.Fatalf("maxNeighbors=%d: cluster %d has %d members, want %d",
+					maxNeighbors, want, len(got), len(exp))
+			}
+			for i := range got {
+				if got[i] != exp[i] {
+					t.Fatalf("maxNeighbors=%d: cluster %d member %d is %d, want %d",
+						maxNeighbors, want, i, got[i], exp[i])
+				}
+			}
+		}
+	}
+}

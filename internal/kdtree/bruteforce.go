@@ -30,7 +30,7 @@ func (b *BruteForce) RadiusLimit(q []float64, eps float64, max int, out []int32,
 	before := len(out)
 	for i := int32(0); i < n; i++ {
 		local.DistComps++
-		if geom.SqDist(q, b.ds.At(i)) <= eps2 {
+		if geom.SqDistD(q, b.ds.At(i)) <= eps2 {
 			out = append(out, i)
 			if max > 0 && len(out)-before >= max {
 				break
@@ -52,7 +52,7 @@ func (b *BruteForce) RadiusCount(q []float64, eps float64, stats *SearchStats) i
 	var local SearchStats
 	for i := int32(0); i < n; i++ {
 		local.DistComps++
-		if geom.SqDist(q, b.ds.At(i)) <= eps2 {
+		if geom.SqDistD(q, b.ds.At(i)) <= eps2 {
 			c++
 		}
 	}

@@ -1,0 +1,222 @@
+package kdtree
+
+import (
+	"math"
+
+	"sparkdbscan/internal/geom"
+)
+
+// LegacyTree is the original pointer-chasing implementation of the
+// bucketed kd-tree: recursive traversal, leaves that index into the
+// full dataset through the order permutation, hyperplane-only pruning
+// and a serial build. It is retained verbatim as the "before" arm of
+// the packed-tree microbenchmarks (BENCH_kdtree.json) and as an extra
+// cross-check in the equivalence property tests. New code should use
+// Tree.
+type LegacyTree struct {
+	ds       *geom.Dataset
+	nodes    []legacyNode
+	order    []int32
+	root     int32
+	leafSize int
+	buildOps int64
+}
+
+type legacyNode struct {
+	splitDim   int32 // -1 for leaves
+	left       int32
+	right      int32
+	start, end int32 // leaf: range into order
+	splitVal   float64
+}
+
+var _ Index = (*LegacyTree)(nil)
+
+// legacyLeafSize pins the pre-packed-layout default bucket size: the
+// benchmark baseline must keep behaving exactly as the old tree did,
+// independent of tuning applied to the packed Tree.
+const legacyLeafSize = 16
+
+// BuildLegacy constructs a LegacyTree with its historical default leaf
+// size.
+func BuildLegacy(ds *geom.Dataset) *LegacyTree { return BuildLegacyLeafSize(ds, legacyLeafSize) }
+
+// BuildLegacyLeafSize constructs a LegacyTree whose leaves hold at most
+// leafSize points.
+func BuildLegacyLeafSize(ds *geom.Dataset, leafSize int) *LegacyTree {
+	if leafSize < 1 {
+		leafSize = 1
+	}
+	n := ds.Len()
+	t := &LegacyTree{
+		ds:       ds,
+		order:    make([]int32, n),
+		leafSize: leafSize,
+	}
+	for i := range t.order {
+		t.order[i] = int32(i)
+	}
+	if n == 0 {
+		t.root = -1
+		return t
+	}
+	t.nodes = make([]legacyNode, 0, 2*(n/leafSize+1))
+	t.root = t.build(0, int32(n))
+	return t
+}
+
+func (t *LegacyTree) build(lo, hi int32) int32 {
+	t.buildOps += int64(hi - lo)
+	if int(hi-lo) <= t.leafSize {
+		t.nodes = append(t.nodes, legacyNode{splitDim: -1, start: lo, end: hi})
+		return int32(len(t.nodes) - 1)
+	}
+	dim, spread := t.widestDim(lo, hi)
+	if spread == 0 {
+		t.nodes = append(t.nodes, legacyNode{splitDim: -1, start: lo, end: hi})
+		return int32(len(t.nodes) - 1)
+	}
+	mid := (lo + hi) / 2
+	selectNth(t.ds, t.order, lo, hi, mid, int(dim))
+	splitVal := t.coord(t.order[mid], int(dim))
+	self := int32(len(t.nodes))
+	t.nodes = append(t.nodes, legacyNode{splitDim: dim, splitVal: splitVal})
+	left := t.build(lo, mid)
+	right := t.build(mid, hi)
+	t.nodes[self].left = left
+	t.nodes[self].right = right
+	return self
+}
+
+func (t *LegacyTree) coord(p int32, dim int) float64 {
+	return t.ds.Coords[int(p)*t.ds.Dim+dim]
+}
+
+func (t *LegacyTree) widestDim(lo, hi int32) (int32, float64) {
+	d := t.ds.Dim
+	mins := make([]float64, d)
+	maxs := make([]float64, d)
+	first := t.ds.At(t.order[lo])
+	copy(mins, first)
+	copy(maxs, first)
+	for i := lo + 1; i < hi; i++ {
+		p := t.ds.At(t.order[i])
+		for j, v := range p {
+			if v < mins[j] {
+				mins[j] = v
+			}
+			if v > maxs[j] {
+				maxs[j] = v
+			}
+		}
+	}
+	best, bestSpread := 0, maxs[0]-mins[0]
+	for j := 1; j < d; j++ {
+		if s := maxs[j] - mins[j]; s > bestSpread {
+			best, bestSpread = j, s
+		}
+	}
+	return int32(best), bestSpread
+}
+
+// Size returns the number of points indexed.
+func (t *LegacyTree) Size() int { return len(t.order) }
+
+// BuildOps returns the metered construction work.
+func (t *LegacyTree) BuildOps() int64 { return t.buildOps }
+
+// Radius implements Index.
+func (t *LegacyTree) Radius(q []float64, eps float64, out []int32, stats *SearchStats) []int32 {
+	return t.search(q, eps, -1, out, stats)
+}
+
+// RadiusLimit implements Index.
+func (t *LegacyTree) RadiusLimit(q []float64, eps float64, max int, out []int32, stats *SearchStats) []int32 {
+	if max < 0 {
+		max = 0
+	}
+	return t.search(q, eps, max, out, stats)
+}
+
+// RadiusCount implements Index.
+func (t *LegacyTree) RadiusCount(q []float64, eps float64, stats *SearchStats) int {
+	if t.root < 0 {
+		return 0
+	}
+	var local SearchStats
+	count := t.count(t.root, q, eps, eps*eps, &local)
+	local.Reported = int64(count)
+	if stats != nil {
+		stats.Add(local)
+	}
+	return count
+}
+
+func (t *LegacyTree) search(q []float64, eps float64, max int, out []int32, stats *SearchStats) []int32 {
+	if t.root < 0 || max == 0 {
+		return out
+	}
+	var local SearchStats
+	before := len(out)
+	out = t.radius(t.root, q, eps, eps*eps, max, out, &local)
+	local.Reported = int64(len(out) - before)
+	if stats != nil {
+		stats.Add(local)
+	}
+	return out
+}
+
+func (t *LegacyTree) radius(ni int32, q []float64, eps, eps2 float64, max int, out []int32, stats *SearchStats) []int32 {
+	stats.NodesVisited++
+	nd := &t.nodes[ni]
+	if nd.splitDim < 0 {
+		for i := nd.start; i < nd.end; i++ {
+			p := t.order[i]
+			stats.DistComps++
+			if geom.SqDist(q, t.ds.At(p)) <= eps2 {
+				out = append(out, p)
+				if max >= 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+		return out
+	}
+	d := q[nd.splitDim] - nd.splitVal
+	first, second := nd.left, nd.right
+	if d > 0 {
+		first, second = nd.right, nd.left
+	}
+	out = t.radius(first, q, eps, eps2, max, out, stats)
+	if max >= 0 && len(out) >= max {
+		return out
+	}
+	if math.Abs(d) <= eps {
+		out = t.radius(second, q, eps, eps2, max, out, stats)
+	}
+	return out
+}
+
+func (t *LegacyTree) count(ni int32, q []float64, eps, eps2 float64, stats *SearchStats) int {
+	stats.NodesVisited++
+	nd := &t.nodes[ni]
+	if nd.splitDim < 0 {
+		c := 0
+		for i := nd.start; i < nd.end; i++ {
+			stats.DistComps++
+			if geom.SqDist(q, t.ds.At(t.order[i])) <= eps2 {
+				c++
+			}
+		}
+		return c
+	}
+	d := q[nd.splitDim] - nd.splitVal
+	c := 0
+	if d <= eps {
+		c += t.count(nd.left, q, eps, eps2, stats)
+	}
+	if -d <= eps {
+		c += t.count(nd.right, q, eps, eps2, stats)
+	}
+	return c
+}

@@ -1,0 +1,35 @@
+package kdtree
+
+// leafSqDistsGo is the portable leaf-scan kernel: for cnt points stored
+// dimension-major with the given column stride (coordinate j of local
+// point i at p[j*stride+i]), it fills out[i] with the float32 squared
+// distance to q and mask[i/8] with one bit per point set iff
+// !(sHi < out[i]) — i.e. the point is at most sHi away or the distance
+// is NaN and needs the exact path. cnt is a multiple of 8 by
+// construction (leaf blocks are padded); pad slots compute a +Inf (or
+// NaN) distance, so they only ever set mask bits when sHi is non-finite
+// and the caller's true-point bound screens them out. The accumulation
+// error of this kernel and of the vector kernel are both covered by the
+// r·s term in Tree.epsBand.
+func leafSqDistsGo(q []float32, p []float32, stride, cnt int, out []float32, mask []uint8, sHi float32) {
+	o := out[:cnt]
+	for i := range o {
+		o[i] = 0
+	}
+	for j, qj := range q {
+		col := p[j*stride : j*stride+cnt]
+		for i, pv := range col {
+			d := qj - pv
+			o[i] += d * d
+		}
+	}
+	for bi := 0; bi < cnt/8; bi++ {
+		var b uint8
+		for k := 0; k < 8; k++ {
+			if !(sHi < o[bi*8+k]) {
+				b |= 1 << k
+			}
+		}
+		mask[bi] = b
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package kdtree
+
+// leafSqDists dispatches the leaf-scan kernel; without amd64 vector
+// support it is always the portable implementation.
+func leafSqDists(q []float32, p []float32, stride, cnt int, out []float32, mask []uint8, sHi float32) {
+	leafSqDistsGo(q, p, stride, cnt, out, mask, sHi)
+}

@@ -158,6 +158,7 @@ func Run(ds *geom.Dataset, cfg Config) (*Result, error) {
 					}
 				}
 				w.KDNodes += stats.NodesVisited
+				w.KDIncluded += stats.NodesIncluded
 				w.DistComps += stats.DistComps
 				return nil
 			},

@@ -222,6 +222,7 @@ func Run(ds *geom.Dataset, idx kdtree.Index, cfg Config) (*Result, error) {
 		res.Stats.Add(shards[i].stats)
 		res.Work.Add(shards[i].work)
 		res.Work.KDNodes += shards[i].stats.NodesVisited
+		res.Work.KDIncluded += shards[i].stats.NodesIncluded
 		res.Work.DistComps += shards[i].stats.DistComps
 	}
 

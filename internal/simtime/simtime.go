@@ -21,6 +21,7 @@ package simtime
 // empty ledger.
 type Work struct {
 	KDNodes        int64 // kd-tree nodes visited during queries
+	KDIncluded     int64 // kd-subtrees reported wholesale via bbox inclusion
 	DistComps      int64 // full d-dimensional distance computations
 	QueueOps       int64 // FIFO push/pop during cluster expansion
 	HashOps        int64 // visited/membership table operations
@@ -39,6 +40,7 @@ type Work struct {
 // Add accumulates o into w.
 func (w *Work) Add(o Work) {
 	w.KDNodes += o.KDNodes
+	w.KDIncluded += o.KDIncluded
 	w.DistComps += o.DistComps
 	w.QueueOps += o.QueueOps
 	w.HashOps += o.HashOps
@@ -61,6 +63,7 @@ func (w Work) IsZero() bool { return w == Work{} }
 // single unit (per node, per byte, ...).
 type CostModel struct {
 	KDNode        float64
+	KDInclude     float64 // per subtree reported wholesale by bbox inclusion
 	DistComp      float64
 	QueueOp       float64
 	HashOp        float64
@@ -101,6 +104,7 @@ type CostModel struct {
 func DefaultModel() *CostModel {
 	return &CostModel{
 		KDNode:        2e-6,
+		KDInclude:     2e-6,
 		DistComp:      1e-5,
 		QueueOp:       6e-7,
 		HashOp:        9e-7,
@@ -121,6 +125,7 @@ func DefaultModel() *CostModel {
 // Seconds converts a ledger into simulated seconds under m.
 func (m *CostModel) Seconds(w Work) float64 {
 	return float64(w.KDNodes)*m.KDNode +
+		float64(w.KDIncluded)*m.KDInclude +
 		float64(w.DistComps)*m.DistComp +
 		float64(w.QueueOps)*m.QueueOp +
 		float64(w.HashOps)*m.HashOp +
