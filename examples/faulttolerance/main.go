@@ -85,6 +85,43 @@ func main() {
 	fmt.Printf("partial clusters accumulated exactly once: %d (reference %d)\n",
 		res.Global.NumPartialClusters, ref.Global.NumPartialClusters)
 
+	// Failures are not free: the same chaos under a seeded fault
+	// profile (the declarative alternative to a hand-written injector)
+	// charges dead attempts as core occupancy, retries after backoff,
+	// crashes whole executors, and blacklists repeat offenders — all of
+	// it visible in the time ledger, none of it in the labels.
+	faulty := spark.NewContext(spark.Config{
+		Cores:            8,
+		CoresPerExecutor: 4,
+		Seed:             1,
+		Faults: &spark.FaultProfile{
+			Seed:                7,
+			TaskFailRate:        0.3,
+			ExecutorCrashRate:   0.5,
+			MaxExecutorFailures: 2,
+		},
+	})
+	fres, err := core.Run(faulty, ds, core.Config{Params: params, Partitions: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frep := faulty.Report()
+	fmt.Printf("\nfault profile: %d failed attempts, %d executor restarts\n",
+		frep.FailedAttempts(), frep.ExecutorRestarts)
+	for _, ev := range frep.BlacklistEvents {
+		fmt.Printf("  %s\n", ev)
+	}
+	fsame := fres.Global.NumPartialClusters == ref.Global.NumPartialClusters
+	for i := range ref.Global.Labels {
+		if ref.Global.Labels[i] != fres.Global.Labels[i] {
+			fsame = false
+			break
+		}
+	}
+	fmt.Printf("executor time %.2fs vs %.2fs clean (%.2fx) — labels identical: %v\n",
+		frep.ExecutorSeconds, clean.Report().ExecutorSeconds,
+		frep.ExecutorSeconds/clean.Report().ExecutorSeconds, fsame)
+
 	// Contrast: a permanently failing partition exhausts its retries
 	// and fails the whole job with a real error, not a hang.
 	doomed := spark.NewContext(spark.Config{

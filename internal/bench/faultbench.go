@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/quest"
+	"sparkdbscan/internal/spark"
+
+	coredbscan "sparkdbscan/internal/core"
+)
+
+// The fault bench quantifies what failure costs: the same clustering
+// job runs once clean and once per fault seed under a deterministic
+// fault profile (task failures, slow tasks, executor crashes,
+// blacklisting), and the report contrasts the makespans. The labels
+// column is the invariant the whole layer is built around — faults move
+// time, never results.
+
+// faultBenchProfile is the injected fault mix: moderately flaky tasks,
+// occasional slow executors, and a coin-flip executor crash per stage.
+func faultBenchProfile(seed uint64) *spark.FaultProfile {
+	return &spark.FaultProfile{
+		Seed:                seed,
+		TaskFailRate:        0.3,
+		SlowRate:            0.2,
+		ExecutorCrashRate:   0.5,
+		MaxExecutorFailures: 2,
+	}
+}
+
+// FaultBenchRun is one faulty arm of the comparison.
+type FaultBenchRun struct {
+	Seed             uint64   `json:"seed"`
+	ExecutorSeconds  float64  `json:"executor_seconds"`
+	Overhead         float64  `json:"overhead_vs_clean"` // faulty/clean
+	FailedAttempts   int      `json:"failed_attempts"`
+	RetrySeconds     float64  `json:"retry_seconds"`
+	BackoffSeconds   float64  `json:"backoff_seconds"`
+	ExecutorRestarts int      `json:"executor_restarts"`
+	BlacklistEvents  []string `json:"blacklist_events"`
+	LabelsMatch      bool     `json:"labels_match_clean"`
+}
+
+// FaultBenchReport is the BENCH_faults.json payload.
+type FaultBenchReport struct {
+	Method               string          `json:"method"`
+	Dataset              string          `json:"dataset"`
+	Points               int             `json:"points"`
+	Cores                int             `json:"cores"`
+	CoresPerExecutor     int             `json:"cores_per_executor"`
+	Partitions           int             `json:"partitions"`
+	CleanExecutorSeconds float64         `json:"clean_executor_seconds"`
+	Runs                 []FaultBenchRun `json:"runs"`
+}
+
+// RunFaultBench runs the clean-vs-faulty comparison for each seed and,
+// when jsonPath is non-empty, writes the report there.
+func RunFaultBench(w io.Writer, jsonPath string, seeds []uint64, points int) error {
+	if len(seeds) == 0 {
+		seeds = []uint64{11, 23, 47}
+	}
+	if points < 100 {
+		points = 4000
+	}
+	const (
+		dataset    = "c10k"
+		cores      = 16
+		cpe        = 4
+		partitions = 8
+	)
+	spec, err := quest.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	ds, err := quest.Generate(spec.Scaled(points))
+	if err != nil {
+		return err
+	}
+	params := dbscan.Params{Eps: quest.TableIEps, MinPts: quest.TableIMinPts}
+
+	run := func(p *spark.FaultProfile) (*coredbscan.Result, spark.Report, error) {
+		sctx := spark.NewContext(spark.Config{
+			Cores: cores, CoresPerExecutor: cpe, Seed: 42, Faults: p,
+		})
+		res, err := coredbscan.Run(sctx, ds, coredbscan.Config{
+			Params: params, Partitions: partitions,
+		})
+		if err != nil {
+			return nil, spark.Report{}, err
+		}
+		return res, sctx.Report(), nil
+	}
+
+	clean, cleanRep, err := run(nil)
+	if err != nil {
+		return err
+	}
+	report := FaultBenchReport{
+		Method: "same job, same straggler seed; each arm adds a seeded fault profile " +
+			"(task fail 0.3, slow 0.2 x4, executor crash 0.5/stage, blacklist after 2)",
+		Dataset: dataset, Points: ds.Len(),
+		Cores: cores, CoresPerExecutor: cpe, Partitions: partitions,
+		CleanExecutorSeconds: cleanRep.ExecutorSeconds,
+	}
+
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "run\texec s\toverhead\tfailures\tretry s\tbackoff s\trestarts\tblacklist\tlabels")
+	fmt.Fprintf(tw, "clean\t%.3f\t1.00x\t0\t0\t0\t0\t0\tref\n", cleanRep.ExecutorSeconds)
+	for _, seed := range seeds {
+		res, rep, err := run(faultBenchProfile(seed))
+		if err != nil {
+			return err
+		}
+		var retry, backoff float64
+		for _, st := range rep.Stages {
+			retry += st.RetrySeconds
+			backoff += st.BackoffSeconds
+		}
+		match := res.Global.NumPartialClusters == clean.Global.NumPartialClusters
+		for i := range clean.Global.Labels {
+			if res.Global.Labels[i] != clean.Global.Labels[i] {
+				match = false
+				break
+			}
+		}
+		r := FaultBenchRun{
+			Seed:             seed,
+			ExecutorSeconds:  rep.ExecutorSeconds,
+			Overhead:         rep.ExecutorSeconds / cleanRep.ExecutorSeconds,
+			FailedAttempts:   rep.FailedAttempts(),
+			RetrySeconds:     retry,
+			BackoffSeconds:   backoff,
+			ExecutorRestarts: rep.ExecutorRestarts,
+			BlacklistEvents:  make([]string, 0, len(rep.BlacklistEvents)),
+			LabelsMatch:      match,
+		}
+		for _, ev := range rep.BlacklistEvents {
+			r.BlacklistEvents = append(r.BlacklistEvents, ev.String())
+		}
+		report.Runs = append(report.Runs, r)
+		labels := "identical"
+		if !match {
+			labels = "DIFFER"
+		}
+		fmt.Fprintf(tw, "seed %d\t%.3f\t%.2fx\t%d\t%.3f\t%.3f\t%d\t%d\t%s\n",
+			seed, r.ExecutorSeconds, r.Overhead, r.FailedAttempts,
+			r.RetrySeconds, r.BackoffSeconds, r.ExecutorRestarts,
+			len(r.BlacklistEvents), labels)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, r := range report.Runs {
+		if !r.LabelsMatch {
+			return fmt.Errorf("faultbench: seed %d changed the clustering — the fault layer is broken", r.Seed)
+		}
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", jsonPath)
+	return nil
+}

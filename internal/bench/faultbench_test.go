@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFaultBenchWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_faults.json")
+	var out bytes.Buffer
+	if err := RunFaultBench(&out, path, []uint64{11}, 800); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "identical") {
+		t.Fatalf("labels column missing:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep FaultBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.CleanExecutorSeconds <= 0 || len(rep.Runs) != 1 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	r := rep.Runs[0]
+	if !r.LabelsMatch {
+		t.Fatalf("faults changed labels: %+v", r)
+	}
+	if r.ExecutorSeconds <= rep.CleanExecutorSeconds || r.Overhead <= 1 {
+		t.Fatalf("faulty run not slower than clean: %+v", r)
+	}
+	if r.FailedAttempts == 0 || r.RetrySeconds <= 0 {
+		t.Fatalf("fault profile never fired: %+v", r)
+	}
+}

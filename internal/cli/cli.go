@@ -171,12 +171,27 @@ func RunBench(args []string, stdout io.Writer) error {
 		seed    = fs.Uint64("seed", 0, "straggler seed (0 = default)")
 		kdbench = fs.String("kdbench", "", "run the kd-tree engine wall-clock benchmark, write JSON to this path (e.g. BENCH_kdtree.json), and exit")
 		kdreps  = fs.Int("kdreps", 3, "repetitions per kd-tree benchmark cell")
+
+		faultbench  = fs.String("faultbench", "", "run the fault-injection benchmark, write JSON to this path (e.g. BENCH_faults.json), and exit")
+		faultseeds  = fs.String("faultseeds", "11,23,47", "comma-separated fault-profile seeds for -faultbench")
+		faultpoints = fs.Int("faultpoints", 4000, "dataset points for -faultbench")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *kdbench != "" {
 		return bench.RunKDBench(stdout, *kdbench, *kdreps)
+	}
+	if *faultbench != "" {
+		var seeds []uint64
+		for _, s := range strings.Split(*faultseeds, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return fmt.Errorf("benchrunner: bad -faultseeds entry %q: %w", s, err)
+			}
+			seeds = append(seeds, v)
+		}
+		return bench.RunFaultBench(stdout, *faultbench, seeds, *faultpoints)
 	}
 	if *list {
 		for _, e := range bench.All() {

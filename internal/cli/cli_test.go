@@ -163,3 +163,23 @@ func TestBenchCommaSeparatedAndErrors(t *testing.T) {
 		t.Fatal("bad scale accepted")
 	}
 }
+
+func TestBenchFaultBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_faults.json")
+	var out bytes.Buffer
+	err := RunBench([]string{"-faultbench", path, "-faultseeds", "11", "-faultpoints", "800"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	for _, col := range []string{"overhead", "restarts", "blacklist", "identical"} {
+		if !strings.Contains(out.String(), col) {
+			t.Fatalf("output lacks %q:\n%s", col, out.String())
+		}
+	}
+	if err := RunBench([]string{"-faultbench", path, "-faultseeds", "nope"}, &out); err == nil {
+		t.Fatal("bad -faultseeds accepted")
+	}
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"os"
+	"strconv"
+	"testing"
+
+	"sparkdbscan/internal/spark"
+)
+
+func TestSortCostTable(t *testing.T) {
+	// n·⌈log₂ n⌉ exactly: powers of two pay log₂ n, one past a power
+	// pays log₂ n + 1.
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{0, 0}, {1, 1},
+		{2, 2},        // 2·1
+		{3, 6},        // 3·2
+		{4, 8},        // 4·2
+		{5, 15},       // 5·3
+		{8, 24},       // 8·3
+		{9, 36},       // 9·4
+		{1024, 10240}, // 1024·10
+		{1025, 11275}, // 1025·11
+	}
+	for _, c := range cases {
+		if got := sortCost(c.n); got != c.want {
+			t.Errorf("sortCost(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// faultSeeds are the built-in fault schedules the label-invariance
+// property is checked against; FAULT_SEED in the environment (the CI
+// fault matrix sets it) adds one more.
+func faultSeeds(t *testing.T) []uint64 {
+	t.Helper()
+	seeds := []uint64{11, 23, 47}
+	if env := os.Getenv("FAULT_SEED"); env != "" {
+		s, err := strconv.ParseUint(env, 10, 64)
+		if err != nil {
+			t.Fatalf("bad FAULT_SEED %q: %v", env, err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// TestFaultSchedulesNeverChangeLabels is the end-to-end property test
+// of the failure layer: under any seeded fault schedule — task
+// failures, slow tasks, executor crashes, blacklisting — the pipeline
+// produces bit-identical labels and partial-cluster counts (the latter
+// flows through an accumulator, so this also checks exactly-once
+// semantics under retries), while the faults strictly cost executor
+// time.
+func TestFaultSchedulesNeverChangeLabels(t *testing.T) {
+	ds := testDataset(t, "c10k", 2500)
+	run := func(p *spark.FaultProfile) (*Result, spark.Report) {
+		sctx := spark.NewContext(spark.Config{
+			Cores: 16, CoresPerExecutor: 4, Seed: 42, Faults: p,
+		})
+		res, err := Run(sctx, ds, Config{Params: tableParams, Partitions: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sctx.Report()
+	}
+	clean, cleanRep := run(nil)
+	builtin := map[uint64]bool{11: true, 23: true, 47: true}
+	for _, seed := range faultSeeds(t) {
+		res, rep := run(&spark.FaultProfile{
+			Seed:                seed,
+			TaskFailRate:        0.3,
+			SlowRate:            0.2,
+			ExecutorCrashRate:   0.5,
+			MaxExecutorFailures: 6,
+		})
+		for i := range clean.Global.Labels {
+			if res.Global.Labels[i] != clean.Global.Labels[i] {
+				t.Fatalf("seed %d: label %d differs under faults", seed, i)
+			}
+		}
+		if res.Global.NumPartialClusters != clean.Global.NumPartialClusters {
+			t.Fatalf("seed %d: partials %d != %d (accumulator not exactly-once?)",
+				seed, res.Global.NumPartialClusters, clean.Global.NumPartialClusters)
+		}
+		if rep.ExecutorSeconds < cleanRep.ExecutorSeconds {
+			t.Fatalf("seed %d: faults made the run faster: %g < %g",
+				seed, rep.ExecutorSeconds, cleanRep.ExecutorSeconds)
+		}
+		fired := rep.FailedAttempts() > 0 || rep.ExecutorRestarts > 0
+		if builtin[seed] && !fired {
+			t.Fatalf("seed %d: fault profile never fired", seed)
+		}
+		if fired && rep.ExecutorSeconds <= cleanRep.ExecutorSeconds {
+			t.Fatalf("seed %d: failures were free: clean %g, faulty %g",
+				seed, cleanRep.ExecutorSeconds, rep.ExecutorSeconds)
+		}
+	}
+}
+
+// TestInjectedFailuresCostTimeNotCorrectness is the acceptance
+// criterion stated in terms of the ad-hoc FailureInjector: fail the
+// first attempt of every task, and the reported ExecutorSeconds must
+// strictly exceed the clean run, the failure counts must match the
+// injections, and labels must be byte-identical — across several
+// straggler seeds.
+func TestInjectedFailuresCostTimeNotCorrectness(t *testing.T) {
+	ds := testDataset(t, "r10k", 2000)
+	for _, seed := range []uint64{3, 7, 31} {
+		run := func(inject bool) (*Result, spark.Report, int) {
+			fired := 0
+			cfg := spark.Config{Cores: 8, Seed: seed}
+			if inject {
+				cfg.FailureInjector = func(stage, partition, attempt int) error {
+					if attempt == 0 {
+						fired++
+						return errors.New("injected")
+					}
+					return nil
+				}
+				cfg.HostParallelism = 1 // serialize tasks so fired needs no lock
+			}
+			res, err := Run(spark.NewContext(cfg), ds, Config{Params: tableParams, Partitions: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res, res.Report, fired
+		}
+		clean, cleanRep, _ := run(false)
+		faulty, faultyRep, fired := run(true)
+		if fired == 0 {
+			t.Fatalf("seed %d: injector never fired", seed)
+		}
+		if got := faultyRep.FailedAttempts(); got != fired {
+			t.Fatalf("seed %d: reported %d failures, injected %d", seed, got, fired)
+		}
+		if faultyRep.ExecutorSeconds <= cleanRep.ExecutorSeconds {
+			t.Fatalf("seed %d: failures were free: clean %g, faulty %g",
+				seed, cleanRep.ExecutorSeconds, faultyRep.ExecutorSeconds)
+		}
+		for i := range clean.Global.Labels {
+			if faulty.Global.Labels[i] != clean.Global.Labels[i] {
+				t.Fatalf("seed %d: label %d differs under injection", seed, i)
+			}
+		}
+	}
+}

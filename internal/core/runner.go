@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"sparkdbscan/internal/dbscan"
 	"sparkdbscan/internal/geom"
@@ -230,14 +231,11 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// sortCost returns the comparison count of an n-element sort.
+// sortCost returns the comparison count of an n-element sort:
+// n·⌈log₂ n⌉.
 func sortCost(n int) int64 {
 	if n < 2 {
 		return int64(n)
 	}
-	logn := 1
-	for v := n; v > 1; v >>= 1 {
-		logn++
-	}
-	return int64(n) * int64(logn)
+	return int64(n) * int64(bits.Len(uint(n-1)))
 }

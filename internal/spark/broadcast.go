@@ -40,7 +40,12 @@ func NewBroadcast[T any](ctx *Context, value T, sizeBytes int64) *Broadcast[T] {
 	// also does not shrink with it, which is why wide clusters pay it
 	// as a fixed floor under every core's first task.
 	if ctx.cfg.Mode == Virtual {
-		ctx.warmupPending += float64(sizeBytes) * ctx.cfg.Model.BcastDeser
+		deser := float64(sizeBytes) * ctx.cfg.Model.BcastDeser
+		ctx.warmupPending += deser
+		// A replacement executor after a crash re-deserializes every
+		// live broadcast, so the cumulative total is what its restart
+		// warm-up costs.
+		ctx.bcastWarmupTotal += deser
 	}
 	ctx.mu.Unlock()
 	return &Broadcast[T]{value: value, id: id, bytes: sizeBytes}

@@ -14,6 +14,13 @@
 // paper's 512-core experiments on a laptop. In Real mode, tasks run on
 // a goroutine pool of cfg.Cores workers and stages are timed with the
 // wall clock.
+//
+// Failure has a cost here. A failed task attempt occupies its virtual
+// core until the failure point, the retry waits out a backoff and then
+// re-queues, an executor crash kills every attempt on its cores and
+// re-pays the broadcast warm-up on the replacement, and repeatedly
+// failing executors are blacklisted (spark.blacklist.*). Faults may
+// move time; they never change results.
 package spark
 
 import (
@@ -62,9 +69,10 @@ type Config struct {
 	// cluster offers. Default 1.
 	Cores int
 	// CoresPerExecutor groups cores into executor processes; broadcast
-	// deserialization is paid once per executor. Default 8 (two Spark
-	// executors per Edison node socket would be 12; 8 is Spark's
-	// common default).
+	// deserialization is paid once per executor, and executor-level
+	// faults (crashes, blacklisting) act on these groups. Default 8
+	// (two Spark executors per Edison node socket would be 12; 8 is
+	// Spark's common default).
 	CoresPerExecutor int
 	// Mode selects Virtual (default) or Real timing.
 	Mode Mode
@@ -72,7 +80,9 @@ type Config struct {
 	// simtime.DefaultModel().
 	Model *simtime.CostModel
 	// StragglerFrac scales the per-task straggler tail in Virtual mode
-	// (the paper's t_straggling). Default 0.25.
+	// (the paper's t_straggling). Default 0.25; a negative value
+	// disables the jitter entirely (0 cannot, as it selects the
+	// default).
 	StragglerFrac float64
 	// Speculation enables speculative re-execution of straggling tasks
 	// (spark.speculation). Off by default, as in Spark 1.5.
@@ -83,6 +93,10 @@ type Config struct {
 	MaxTaskRetries int
 	// FailureInjector, when set, can fail task attempts.
 	FailureInjector FailureInjector
+	// Faults, when set, injects deterministic seeded faults (task
+	// failures, slow tasks, executor crashes) into Virtual-mode
+	// stages and enables executor blacklisting.
+	Faults *FaultProfile
 	// HostParallelism is how many OS-level workers actually execute
 	// tasks in Virtual mode (wall-clock speed only; no effect on
 	// simulated time). Default runtime.NumCPU().
@@ -101,9 +115,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StragglerFrac == 0 {
 		c.StragglerFrac = 0.25
+	} else if c.StragglerFrac < 0 {
+		c.StragglerFrac = 0
 	}
 	if c.MaxTaskRetries < 1 {
 		c.MaxTaskRetries = 4
+	}
+	if c.Faults != nil {
+		c.Faults = c.Faults.withDefaults()
 	}
 	if c.HostParallelism < 1 {
 		c.HostParallelism = runtime.NumCPU()
@@ -125,6 +144,16 @@ type StageReport struct {
 	Seconds  float64 // makespan on the virtual/real cores
 	Ideal    float64 // perfectly-balanced lower bound (Virtual only)
 	Work     simtime.Work
+	// FailedWork is the metered work of attempts that failed after
+	// computing — paid for and thrown away (lineage recomputation
+	// repeats it on the retry).
+	FailedWork simtime.Work
+	// RetrySeconds is core time occupied by failed attempts
+	// (Virtual only).
+	RetrySeconds float64
+	// BackoffSeconds is scheduler delay charged between failures and
+	// their retries (Virtual only).
+	BackoffSeconds float64
 }
 
 // Report aggregates an application's time split, which is exactly the
@@ -135,10 +164,25 @@ type Report struct {
 	ExecutorSeconds float64
 	Stages          []StageReport
 	DriverWork      simtime.Work
+	// BlacklistEvents records executors excluded from scheduling after
+	// exceeding FaultProfile.MaxExecutorFailures.
+	BlacklistEvents []BlacklistEvent
+	// ExecutorRestarts counts executor crashes repaired by a
+	// replacement process.
+	ExecutorRestarts int
 }
 
 // Total returns driver + executor seconds.
 func (r Report) Total() float64 { return r.DriverSeconds + r.ExecutorSeconds }
+
+// FailedAttempts sums failed task attempts across stages.
+func (r Report) FailedAttempts() int {
+	n := 0
+	for _, s := range r.Stages {
+		n += s.Failures
+	}
+	return n
+}
 
 // Context is the driver-side handle to the cluster (the paper's
 // SparkContext). It is safe for use from a single driver goroutine;
@@ -146,28 +190,36 @@ func (r Report) Total() float64 { return r.DriverSeconds + r.ExecutorSeconds }
 type Context struct {
 	cfg Config
 
-	mu            sync.Mutex
-	nextRDDID     int
-	nextStageID   int
-	nextAccID     int
-	report        Report
-	warmupPending float64 // per-executor broadcast deser not yet charged
-	accs          map[int]*accumulatorState
-	stopped       bool
+	mu               sync.Mutex
+	nextRDDID        int
+	nextStageID      int
+	nextAccID        int
+	report           Report
+	warmupPending    float64 // per-executor broadcast deser not yet charged
+	bcastWarmupTotal float64 // cumulative: what a restarted executor re-pays
+	accs             map[int]*accumulatorState
+	stopped          bool
+	execFailures     []int  // failed attempts attributed to each executor
+	blacklist        []bool // executors excluded from scheduling
 }
 
 // NewContext creates a driver context.
 func NewContext(cfg Config) *Context {
-	return &Context{
+	c := &Context{
 		cfg:  cfg.withDefaults(),
 		accs: make(map[int]*accumulatorState),
 	}
+	n := c.cfg.NumExecutors()
+	c.execFailures = make([]int, n)
+	c.blacklist = make([]bool, n)
+	return c
 }
 
 // Config returns the (defaulted) configuration in effect.
 func (c *Context) Config() Config { return c.cfg }
 
-// Stop marks the context stopped; subsequent jobs fail. Mirrors
+// Stop marks the context stopped; subsequent jobs fail, and a stage
+// already running aborts before launching its next task. Mirrors
 // SparkContext.stop().
 func (c *Context) Stop() {
 	c.mu.Lock()
@@ -181,7 +233,22 @@ func (c *Context) Report() Report {
 	defer c.mu.Unlock()
 	r := c.report
 	r.Stages = append([]StageReport(nil), c.report.Stages...)
+	r.BlacklistEvents = append([]BlacklistEvent(nil), c.report.BlacklistEvents...)
 	return r
+}
+
+// BlacklistedExecutors returns the executors currently excluded from
+// scheduling.
+func (c *Context) BlacklistedExecutors() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for e, b := range c.blacklist {
+		if b {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // RunInDriver executes f as driver-side code, metering its work into
@@ -210,7 +277,7 @@ func (c *Context) checkActive() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.stopped {
-		return fmt.Errorf("spark: context is stopped")
+		return fmt.Errorf("spark: context stopped")
 	}
 	return nil
 }
@@ -241,6 +308,29 @@ func (tc *TaskContext) ChargeElems(n int64) { tc.work.Elems += n }
 // Work returns the work metered so far by this attempt.
 func (tc *TaskContext) Work() simtime.Work { return tc.work }
 
+// attemptFailure is the ledger entry for one failed task attempt.
+type attemptFailure struct {
+	attempt int
+	// work is what the attempt metered before dying (compute
+	// failures). Injected failures strike before compute runs on the
+	// host; their virtual duration is synthesized from the successful
+	// attempt's cost at scheduling time.
+	work       simtime.Work
+	preCompute bool
+}
+
+// injectFailure consults the fault profile, then the user's injector.
+func (c *Context) injectFailure(stage, split, attempt int) error {
+	if p := c.cfg.Faults; p != nil &&
+		p.failsAttempt(stage, split, attempt, c.cfg.MaxTaskRetries) {
+		return &errInjectedFault{stage: stage, partition: split, attempt: attempt}
+	}
+	if c.cfg.FailureInjector != nil {
+		return c.cfg.FailureInjector(stage, split, attempt)
+	}
+	return nil
+}
+
 // runStage executes one task per partition index in [0, parts) and
 // returns per-partition results. compute is the pipelined stage
 // function. Failed attempts are retried up to MaxTaskRetries with
@@ -256,12 +346,18 @@ func runStage[T any](c *Context, name string, parts int,
 	c.nextStageID++
 	warmup := c.warmupPending
 	c.warmupPending = 0
+	restartWarmup := c.bcastWarmupTotal
+	var blacklisted []int
+	for e, b := range c.blacklist {
+		if b {
+			blacklisted = append(blacklisted, e)
+		}
+	}
 	c.mu.Unlock()
 
 	results := make([]T, parts)
 	taskWork := make([]simtime.Work, parts)
-	var failures int64
-	var failuresMu sync.Mutex
+	taskFails := make([][]attemptFailure, parts)
 
 	workers := c.cfg.HostParallelism
 	if c.cfg.Mode == Real {
@@ -286,12 +382,25 @@ func runStage[T any](c *Context, name string, parts int,
 		if stop {
 			break
 		}
-		wg.Add(1)
 		sem <- struct{}{}
+		// A Stop() between task launches aborts the stage: already
+		// running tasks drain, no new ones start. The check sits after
+		// the semaphore acquire so that with HostParallelism 1 a task
+		// calling Stop deterministically halts the very next launch.
+		if err := c.checkActive(); err != nil {
+			<-sem
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			break
+		}
+		wg.Add(1)
 		go func(split int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, w, nfail, err := runTaskWithRetries(c, stageID, split, compute)
+			res, w, fails, err := runTaskWithRetries(c, stageID, split, compute)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -302,11 +411,7 @@ func runStage[T any](c *Context, name string, parts int,
 			}
 			results[split] = res
 			taskWork[split] = w
-			if nfail > 0 {
-				failuresMu.Lock()
-				failures += int64(nfail)
-				failuresMu.Unlock()
-			}
+			taskFails[split] = fails
 		}(split)
 	}
 	wg.Wait()
@@ -315,26 +420,68 @@ func runStage[T any](c *Context, name string, parts int,
 	}
 	wall := time.Since(start).Seconds()
 
-	rep := StageReport{ID: stageID, Name: name, Tasks: parts, Failures: int(failures)}
+	prof := c.cfg.Faults
+	rep := StageReport{ID: stageID, Name: name, Tasks: parts}
+	for _, fails := range taskFails {
+		for _, f := range fails {
+			rep.FailedWork.Add(f.work)
+		}
+	}
+	var sched vcluster.Schedule
 	if c.cfg.Mode == Virtual {
+		retryBackoff := 0.1 // Spark resubmit latency for ad-hoc injectors
+		var crashed []int
+		if prof != nil {
+			retryBackoff = prof.RetryBackoff
+			crashed = prof.crashedExecutors(stageID, c.cfg.NumExecutors())
+		}
 		tasks := make([]vcluster.Task, parts)
 		for i, w := range taskWork {
-			tasks[i] = vcluster.Task{ID: i, Seconds: c.cfg.Model.Seconds(w)}
+			secs := c.cfg.Model.Seconds(w)
+			tasks[i] = vcluster.Task{ID: i, Seconds: secs}
+			for _, f := range taskFails[i] {
+				fsec := c.cfg.Model.Seconds(f.work)
+				if f.preCompute {
+					// The attempt died partway through work it never
+					// metered on the host; charge the failure point's
+					// share of the successful attempt's cost.
+					frac := 0.5
+					if prof != nil {
+						frac = prof.failPointFrac(stageID, i, f.attempt)
+					}
+					fsec = frac * secs
+				}
+				tasks[i].FailedAttempts = append(tasks[i].FailedAttempts, fsec)
+			}
+			if prof != nil {
+				tasks[i].SlowFactor = prof.slowFactor(stageID, i)
+			}
 			rep.Work.Add(w)
 		}
-		sched := vcluster.Run(tasks, vcluster.Options{
-			Cores:          c.cfg.Cores,
-			LaunchOverhead: c.cfg.Model.TaskLaunch,
-			StragglerFrac:  c.cfg.StragglerFrac,
-			Seed:           c.cfg.Seed ^ uint64(stageID)<<32,
-			WarmupPerCore:  warmup,
-			Speculation:    c.cfg.Speculation,
+		sched = vcluster.Run(tasks, vcluster.Options{
+			Cores:                c.cfg.Cores,
+			LaunchOverhead:       c.cfg.Model.TaskLaunch,
+			StragglerFrac:        c.cfg.StragglerFrac,
+			Seed:                 c.cfg.Seed ^ uint64(stageID)<<32,
+			WarmupPerCore:        warmup,
+			Speculation:          c.cfg.Speculation,
+			CoresPerExecutor:     c.cfg.CoresPerExecutor,
+			RetryBackoff:         retryBackoff,
+			RestartWarmup:        restartWarmup,
+			CrashedExecutors:     crashed,
+			BlacklistedExecutors: blacklisted,
 		})
 		rep.Seconds = sched.Makespan
 		rep.Ideal = sched.IdealSpan
+		rep.Failures = sched.FailedAttempts
+		rep.RetrySeconds = sched.RetrySeconds
+		rep.BackoffSeconds = sched.BackoffSeconds
 	} else {
 		for _, w := range taskWork {
 			rep.Work.Add(w)
+		}
+		for _, fails := range taskFails {
+			rep.Failures += len(fails)
 		}
 		rep.Seconds = wall
 		rep.Ideal = wall
@@ -343,35 +490,61 @@ func runStage[T any](c *Context, name string, parts int,
 	c.mu.Lock()
 	c.report.Stages = append(c.report.Stages, rep)
 	c.report.ExecutorSeconds += rep.Seconds
+	c.report.ExecutorRestarts += sched.Restarts
+	if prof != nil && prof.MaxExecutorFailures > 0 {
+		for e, n := range sched.ExecutorFailures {
+			if n == 0 {
+				continue
+			}
+			c.execFailures[e] += n
+			if c.blacklist[e] || c.execFailures[e] < prof.MaxExecutorFailures {
+				continue
+			}
+			live := 0
+			for _, b := range c.blacklist {
+				if !b {
+					live++
+				}
+			}
+			if live <= 1 {
+				continue // never blacklist the last executor
+			}
+			c.blacklist[e] = true
+			c.report.BlacklistEvents = append(c.report.BlacklistEvents,
+				BlacklistEvent{Stage: stageID, Executor: e, Failures: c.execFailures[e]})
+		}
+	}
 	c.mu.Unlock()
 	return results, nil
 }
 
-// runTaskWithRetries runs one task until success or retry exhaustion.
-// Accumulator updates are merged only for the successful attempt, so
-// accumulators count each partition exactly once per action — matching
-// Spark's guarantee for updates inside actions.
+// runTaskWithRetries runs one task until success or retry exhaustion,
+// returning the successful attempt's work plus the ledger of failed
+// attempts. Accumulator updates are merged only for the successful
+// attempt, so accumulators count each partition exactly once per
+// action — matching Spark's guarantee for updates inside actions.
 func runTaskWithRetries[T any](c *Context, stageID, split int,
-	compute func(split int, tc *TaskContext) (T, error)) (T, simtime.Work, int, error) {
+	compute func(split int, tc *TaskContext) (T, error)) (T, simtime.Work, []attemptFailure, error) {
 	var zero T
 	var lastErr error
+	var fails []attemptFailure
 	for attempt := 0; attempt < c.cfg.MaxTaskRetries; attempt++ {
 		tc := &TaskContext{Stage: stageID, Partition: split, Attempt: attempt, ctx: c}
-		if c.cfg.FailureInjector != nil {
-			if err := c.cfg.FailureInjector(stageID, split, attempt); err != nil {
-				lastErr = err
-				continue
-			}
+		if err := c.injectFailure(stageID, split, attempt); err != nil {
+			lastErr = err
+			fails = append(fails, attemptFailure{attempt: attempt, preCompute: true})
+			continue
 		}
 		res, err := compute(split, tc)
 		if err != nil {
 			lastErr = err
+			fails = append(fails, attemptFailure{attempt: attempt, work: tc.work})
 			continue
 		}
 		c.commitAccUpdates(tc)
-		return res, tc.work, attempt, nil
+		return res, tc.work, fails, nil
 	}
-	return zero, simtime.Work{}, c.cfg.MaxTaskRetries,
+	return zero, simtime.Work{}, fails,
 		fmt.Errorf("spark: stage %d task %d failed %d attempts: %w",
 			stageID, split, c.cfg.MaxTaskRetries, lastErr)
 }

@@ -1,0 +1,142 @@
+package spark
+
+import (
+	"fmt"
+
+	"sparkdbscan/internal/rng"
+)
+
+// FaultProfile injects deterministic faults into Virtual-mode stages:
+// task-attempt failures, slow tasks, and executor crashes. Every draw
+// is a pure function of (Seed, stage, partition/executor, attempt), so
+// a profile produces the exact same fault schedule on every run — the
+// property the end-to-end tests rely on to assert that faults move
+// time but never labels.
+type FaultProfile struct {
+	// Seed drives all fault draws. Two profiles with the same rates
+	// but different seeds produce different schedules.
+	Seed uint64
+	// TaskFailRate in [0, 1) is the per-attempt probability that a
+	// task attempt fails at a deterministic point partway through.
+	// The final permitted attempt never fails, so jobs always
+	// complete: the profile models recoverable faults, not doomed
+	// tasks (use Config.FailureInjector for those).
+	TaskFailRate float64
+	// SlowRate in [0, 1] is the per-task probability of a slow event
+	// (cgroup throttling, sick disk) stretching the task by
+	// SlowFactor.
+	SlowRate float64
+	// SlowFactor multiplies a slow task's duration. Default 4.
+	SlowFactor float64
+	// ExecutorCrashRate in [0, 1] is the per-stage, per-executor
+	// probability that the executor crashes once during the stage,
+	// killing every attempt on its cores.
+	ExecutorCrashRate float64
+	// RetryBackoff is the scheduler delay before a failed attempt's
+	// retry launches. Default 0.1s (Spark's locality-wait-scale
+	// resubmission latency); negative means zero.
+	RetryBackoff float64
+	// CrashPointFrac is how far through its duration the crash-
+	// triggering attempt gets, in (0, 1). Default 0.5.
+	CrashPointFrac float64
+	// MaxExecutorFailures blacklists an executor once this many failed
+	// attempts have run on its cores across the application
+	// (spark.blacklist.application.maxFailedTasksPerExecutor).
+	// 0 disables blacklisting. The last live executor is never
+	// blacklisted.
+	MaxExecutorFailures int
+}
+
+func (p *FaultProfile) withDefaults() *FaultProfile {
+	q := *p
+	if q.SlowFactor <= 1 {
+		q.SlowFactor = 4
+	}
+	if q.RetryBackoff == 0 {
+		q.RetryBackoff = 0.1
+	} else if q.RetryBackoff < 0 {
+		q.RetryBackoff = 0
+	}
+	if q.CrashPointFrac <= 0 || q.CrashPointFrac >= 1 {
+		q.CrashPointFrac = 0.5
+	}
+	return &q
+}
+
+// Draw domains, mixed into the hash so the task-fail, slow, crash, and
+// fail-point streams are independent.
+const (
+	drawTaskFail uint64 = 0xfa17 + iota
+	drawSlow
+	drawCrash
+	drawFailPoint
+)
+
+// draw returns a uniform [0,1) value, a pure function of its inputs.
+func (p *FaultProfile) draw(kind uint64, stage, a, b int) float64 {
+	x := p.Seed ^ kind ^ uint64(stage)*0x9e3779b97f4a7c15 ^
+		uint64(a)*0xbf58476d1ce4e5b9 ^ uint64(b)*0x94d049bb133111eb
+	return float64(rng.Hash64(x)>>11) / (1 << 53)
+}
+
+// failsAttempt reports whether attempt of (stage, partition) fails.
+// The final permitted attempt never does.
+func (p *FaultProfile) failsAttempt(stage, partition, attempt, maxRetries int) bool {
+	if attempt >= maxRetries-1 {
+		return false
+	}
+	return p.draw(drawTaskFail, stage, partition, attempt) < p.TaskFailRate
+}
+
+// failPointFrac is how far through the attempt's duration the failure
+// strikes, in [0.1, 0.9): a fault never dies instantly nor at the very
+// end.
+func (p *FaultProfile) failPointFrac(stage, partition, attempt int) float64 {
+	return 0.1 + 0.8*p.draw(drawFailPoint, stage, partition, attempt)
+}
+
+// slowFactor returns the stretch applied to (stage, partition): 1 when
+// the task dodged the slow event, SlowFactor otherwise.
+func (p *FaultProfile) slowFactor(stage, partition int) float64 {
+	if p.SlowRate > 0 && p.draw(drawSlow, stage, partition, 0) < p.SlowRate {
+		return p.SlowFactor
+	}
+	return 1
+}
+
+// crashedExecutors returns the executors that crash during stage.
+func (p *FaultProfile) crashedExecutors(stage, numExec int) []int {
+	if p.ExecutorCrashRate <= 0 {
+		return nil
+	}
+	var out []int
+	for e := 0; e < numExec; e++ {
+		if p.draw(drawCrash, stage, e, 0) < p.ExecutorCrashRate {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// BlacklistEvent records an executor being excluded from scheduling
+// after accumulating too many task failures.
+type BlacklistEvent struct {
+	Stage    int // stage whose failures crossed the threshold
+	Executor int
+	Failures int // failed attempts attributed to the executor so far
+}
+
+func (e BlacklistEvent) String() string {
+	return fmt.Sprintf("stage %d: executor %d blacklisted after %d task failures",
+		e.Stage, e.Executor, e.Failures)
+}
+
+// errInjectedFault marks failures synthesized by a FaultProfile.
+type errInjectedFault struct {
+	stage, partition, attempt int
+}
+
+func (e *errInjectedFault) Error() string {
+	return fmt.Sprintf("spark: injected fault (stage %d, partition %d, attempt %d)",
+		e.stage, e.partition, e.attempt)
+}

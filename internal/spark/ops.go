@@ -14,7 +14,7 @@ import (
 // of a for k < a.parts, then the partitions of b. Narrow: no shuffle.
 func Union[T any](a, b *RDD[T]) *RDD[T] {
 	out := newRDD[T](a.ctx, a.name+"+"+b.name, a.parts+b.parts, nil)
-	out.sizeFn = a.sizeFn
+	out.inheritSize(a)
 	out.prepare = func() error {
 		if err := a.runPrepare(); err != nil {
 			return err
@@ -44,7 +44,7 @@ func Distinct[T comparable](r *RDD[T], parts int) *RDD[T] {
 // correct recomputation.
 func Sample[T any](r *RDD[T], fraction float64, seed uint64) *RDD[T] {
 	out := newRDD[T](r.ctx, fmt.Sprintf("%s.sample(%g)", r.name, fraction), r.parts, nil)
-	out.sizeFn = r.sizeFn
+	out.inheritSize(r)
 	out.prepare = r.runPrepare
 	out.compute = func(split int, tc *TaskContext) ([]T, error) {
 		in, err := r.materialize(split, tc)

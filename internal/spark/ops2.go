@@ -20,7 +20,7 @@ func (r *RDD[T]) Coalesce(parts int) *RDD[T] {
 		return r
 	}
 	out := newRDD[T](r.ctx, fmt.Sprintf("%s.coalesce(%d)", r.name, parts), parts, nil)
-	out.sizeFn = r.sizeFn
+	out.inheritSize(r)
 	out.prepare = r.runPrepare
 	out.compute = func(split int, tc *TaskContext) ([]T, error) {
 		lo, hi := partitionRange(r.parts, parts, split)

@@ -3,6 +3,7 @@ package spark
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sparkdbscan/internal/hdfs"
 	"sparkdbscan/internal/simtime"
@@ -32,8 +33,12 @@ type RDD[T any] struct {
 	prepare func() error
 
 	// sizeFn estimates the serialized size of one element; used to
-	// charge executor→driver result traffic and shuffle volume.
-	sizeFn func(T) int64
+	// charge executor→driver result traffic and shuffle volume. Held
+	// behind an atomic pointer because tasks of concurrent jobs read
+	// it while the driver may still be wiring the lineage; writes are
+	// only legal before the first materialization (see SetSizeFunc).
+	sizeFn  atomic.Pointer[func(T) int64]
+	started atomic.Bool // a partition has materialized
 
 	cacheMu sync.Mutex
 	cached  bool
@@ -50,14 +55,16 @@ func newRDD[T any](ctx *Context, name string, parts int,
 	id := ctx.nextRDDID
 	ctx.nextRDDID++
 	ctx.mu.Unlock()
-	return &RDD[T]{
+	r := &RDD[T]{
 		ctx:     ctx,
 		id:      id,
 		name:    name,
 		parts:   parts,
 		compute: compute,
-		sizeFn:  func(T) int64 { return defaultElemSize },
 	}
+	defaultFn := func(T) int64 { return defaultElemSize }
+	r.sizeFn.Store(&defaultFn)
+	return r
 }
 
 // ID returns the RDD's unique id within its context.
@@ -70,10 +77,26 @@ func (r *RDD[T]) Name() string { return r.name }
 func (r *RDD[T]) NumPartitions() int { return r.parts }
 
 // SetSizeFunc installs a per-element serialized-size estimator and
-// returns r for chaining.
+// returns r for chaining. It must be called before the RDD's first
+// materialization (i.e. while wiring the lineage, not while jobs run):
+// tasks read the estimator concurrently, so a later swap would race
+// and charge different tasks inconsistently. Calling it after a
+// partition has materialized panics.
 func (r *RDD[T]) SetSizeFunc(f func(T) int64) *RDD[T] {
-	r.sizeFn = f
+	if r.started.Load() {
+		panic(fmt.Sprintf("spark: SetSizeFunc on %q after it materialized; set size functions before the first action", r.name))
+	}
+	r.sizeFn.Store(&f)
 	return r
+}
+
+// elemSize prices one element with the current estimator.
+func (r *RDD[T]) elemSize(e T) int64 { return (*r.sizeFn.Load())(e) }
+
+// inheritSize copies the parent's estimator into a derived same-type
+// RDD (filter, coalesce, union — elements pass through unchanged).
+func (r *RDD[T]) inheritSize(parent *RDD[T]) {
+	r.sizeFn.Store(parent.sizeFn.Load())
 }
 
 // Persist marks the RDD cached: the first materialization of each
@@ -91,6 +114,7 @@ func (r *RDD[T]) Persist() *RDD[T] {
 
 // materialize returns partition split, honouring the cache.
 func (r *RDD[T]) materialize(split int, tc *TaskContext) ([]T, error) {
+	r.started.Store(true)
 	if !r.cached {
 		return r.compute(split, tc)
 	}
@@ -138,7 +162,7 @@ func Parallelize[T any](ctx *Context, data []T, parts int) *RDD[T] {
 		out := data[lo:hi]
 		var w simtime.Work
 		for _, e := range out {
-			w.SerBytes += r.sizeFn(e)
+			w.SerBytes += r.elemSize(e)
 		}
 		tc.Charge(w)
 		return out, nil
@@ -297,7 +321,7 @@ func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
 func (r *RDD[T]) Filter(pred func(T) bool) *RDD[T] {
 	out := newRDD[T](r.ctx, r.name+".filter", r.parts, nil)
 	out.prepare = r.runPrepare
-	out.sizeFn = r.sizeFn
+	out.inheritSize(r)
 	out.compute = func(split int, tc *TaskContext) ([]T, error) {
 		in, err := r.materialize(split, tc)
 		if err != nil {
@@ -348,7 +372,7 @@ func (r *RDD[T]) Collect() ([]T, error) {
 			}
 			var w simtime.Work
 			for _, e := range data {
-				w.SerBytes += r.sizeFn(e)
+				w.SerBytes += r.elemSize(e)
 			}
 			w.NetBytes = w.SerBytes
 			tc.Charge(w)

@@ -97,7 +97,7 @@ func runMapSide[K comparable, V any](r *RDD[Pair[K, V]], ex *shuffleExchange[K, 
 				var w simtime.Work
 				for _, b := range buckets {
 					for _, p := range b {
-						sz := r.sizeFn(p)
+						sz := r.elemSize(p)
 						w.SerBytes += sz
 						w.DiskWriteBytes += sz // shuffle spill to local disk
 					}
@@ -127,14 +127,14 @@ func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], reduce func(V, V) V,
 	}
 	ex := &shuffleExchange[K, V]{}
 	out := newRDD[Pair[K, V]](r.ctx, r.name+".reduceByKey", reduceParts, nil)
-	out.sizeFn = r.sizeFn
+	out.inheritSize(r)
 	out.prepare = func() error { return runMapSide(r, ex, reduceParts, reduce, "reduceByKey") }
 	out.compute = func(split int, tc *TaskContext) ([]Pair[K, V], error) {
 		merged := make(map[K]V)
 		var w simtime.Work
 		for mapPart := range ex.buckets {
 			for _, p := range ex.buckets[mapPart][split] {
-				sz := r.sizeFn(p)
+				sz := r.elemSize(p)
 				w.DiskReadBytes += sz // remote executor reads the spill
 				w.NetBytes += sz
 				w.HashOps++
@@ -169,7 +169,7 @@ func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], reduceParts int) *RDD[P
 		var w simtime.Work
 		for mapPart := range ex.buckets {
 			for _, p := range ex.buckets[mapPart][split] {
-				sz := r.sizeFn(p)
+				sz := r.elemSize(p)
 				w.DiskReadBytes += sz
 				w.NetBytes += sz
 				w.HashOps++

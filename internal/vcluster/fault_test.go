@@ -1,0 +1,283 @@
+package vcluster
+
+import (
+	"container/heap"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestFailedAttemptOccupiesCore(t *testing.T) {
+	// One core: a 2s failed attempt, a 0.5s backoff, then the 3s
+	// retry. The core is busy 0–2 and 2.5–5.5; makespan 5.5.
+	tasks := []Task{{ID: 0, Seconds: 3, FailedAttempts: []float64{2}}}
+	s := Run(tasks, Options{Cores: 1, RetryBackoff: 0.5})
+	if math.Abs(s.Makespan-5.5) > 1e-9 {
+		t.Fatalf("makespan = %g, want 5.5", s.Makespan)
+	}
+	if s.FailedAttempts != 1 {
+		t.Fatalf("FailedAttempts = %d, want 1", s.FailedAttempts)
+	}
+	if math.Abs(s.RetrySeconds-2) > 1e-9 {
+		t.Fatalf("RetrySeconds = %g, want 2", s.RetrySeconds)
+	}
+	if math.Abs(s.BackoffSeconds-0.5) > 1e-9 {
+		t.Fatalf("BackoffSeconds = %g, want 0.5", s.BackoffSeconds)
+	}
+	if len(s.Assignments) != 2 {
+		t.Fatalf("want 2 assignments (failed + retry), got %d", len(s.Assignments))
+	}
+	fa := s.Assignments[0]
+	if !fa.Failed || fa.Attempt != 0 || math.Abs(fa.Finish-2) > 1e-9 {
+		t.Fatalf("failed attempt = %+v", fa)
+	}
+	ok := s.Assignments[1]
+	if ok.Failed || ok.Attempt != 1 || math.Abs(ok.Start-2.5) > 1e-9 {
+		t.Fatalf("retry = %+v", ok)
+	}
+}
+
+func TestFailuresMonotonicallyIncreaseMakespan(t *testing.T) {
+	clean := Run(uniformTasks(16, 1), Options{Cores: 4, StragglerFrac: 0.25, Seed: 3})
+	tasks := uniformTasks(16, 1)
+	for i := range tasks {
+		tasks[i].FailedAttempts = []float64{0.4}
+	}
+	faulty := Run(tasks, Options{Cores: 4, StragglerFrac: 0.25, Seed: 3, RetryBackoff: 0.1})
+	if faulty.Makespan <= clean.Makespan {
+		t.Fatalf("faulty makespan %g not above clean %g", faulty.Makespan, clean.Makespan)
+	}
+	if faulty.FailedAttempts != 16 {
+		t.Fatalf("FailedAttempts = %d, want 16", faulty.FailedAttempts)
+	}
+}
+
+func TestCleanPathUnchangedByFaultOptions(t *testing.T) {
+	// Setting the fault knobs without any actual faults must not move
+	// the schedule: recorded experiment figures depend on this.
+	tasks := uniformTasks(20, 1.5)
+	base := Run(tasks, Options{Cores: 8, StragglerFrac: 0.25, Seed: 42, LaunchOverhead: 0.01})
+	faultReady := Run(tasks, Options{
+		Cores: 8, StragglerFrac: 0.25, Seed: 42, LaunchOverhead: 0.01,
+		CoresPerExecutor: 4, RetryBackoff: 0.1, CrashPointFrac: 0.3, RestartWarmup: 2,
+	})
+	// ExecutorFailures length follows the executor count; every other
+	// field must be untouched.
+	base.ExecutorFailures, faultReady.ExecutorFailures = nil, nil
+	if !reflect.DeepEqual(base, faultReady) {
+		t.Fatalf("fault options moved a clean schedule:\nbase  %+v\nfault %+v", base, faultReady)
+	}
+}
+
+func TestExecutorCrashKillsColocatedTasks(t *testing.T) {
+	// 4 cores, 2 per executor. Executor 0 crashes when its second
+	// core takes work (t=0), at 50% of the triggering 2s task: t=1.
+	// Both running attempts die at 1, both cores re-warm for 0.5
+	// (free at 1.5), and the two victims re-run after a 0.25 backoff.
+	s := Run(uniformTasks(4, 2), Options{
+		Cores: 4, CoresPerExecutor: 2,
+		CrashedExecutors: []int{0},
+		RetryBackoff:     0.25,
+		RestartWarmup:    0.5,
+	})
+	if s.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", s.Restarts)
+	}
+	if s.FailedAttempts != 2 {
+		t.Fatalf("FailedAttempts = %d, want 2 (trigger + co-located victim)", s.FailedAttempts)
+	}
+	if got := s.ExecutorFailures[0]; got != 2 {
+		t.Fatalf("ExecutorFailures[0] = %d, want 2", got)
+	}
+	if s.ExecutorFailures[1] != 0 {
+		t.Fatalf("ExecutorFailures[1] = %d, want 0", s.ExecutorFailures[1])
+	}
+	// Victims re-run on the re-warmed executor-0 cores: 1.5 → 3.5.
+	if math.Abs(s.Makespan-3.5) > 1e-9 {
+		t.Fatalf("makespan = %g, want 3.5", s.Makespan)
+	}
+	var failed int
+	for _, a := range s.Assignments {
+		if a.Failed {
+			failed++
+			if a.Finish > 1+1e-9 {
+				t.Fatalf("failed attempt survived past the crash: %+v", a)
+			}
+			if a.Core/2 != 0 {
+				t.Fatalf("failure outside the crashed executor: %+v", a)
+			}
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("failed assignments = %d, want 2", failed)
+	}
+}
+
+func TestCrashChargesRestartWarmup(t *testing.T) {
+	base := Run(uniformTasks(2, 2), Options{
+		Cores: 2, CoresPerExecutor: 2, CrashedExecutors: []int{0},
+	})
+	warm := Run(uniformTasks(2, 2), Options{
+		Cores: 2, CoresPerExecutor: 2, CrashedExecutors: []int{0},
+		RestartWarmup: 1.5,
+	})
+	if math.Abs((warm.Makespan-base.Makespan)-1.5) > 1e-9 {
+		t.Fatalf("restart warmup added %g, want 1.5 (base %g, warm %g)",
+			warm.Makespan-base.Makespan, base.Makespan, warm.Makespan)
+	}
+}
+
+func TestBlacklistedExecutorGetsNoTasks(t *testing.T) {
+	s := Run(uniformTasks(4, 1), Options{
+		Cores: 4, CoresPerExecutor: 2,
+		BlacklistedExecutors: []int{0},
+	})
+	for _, a := range s.Assignments {
+		if a.Core < 2 {
+			t.Fatalf("task on blacklisted executor's core: %+v", a)
+		}
+	}
+	if s.CoreFinish[0] != 0 || s.CoreFinish[1] != 0 {
+		t.Fatalf("blacklisted cores have finish times: %v", s.CoreFinish)
+	}
+	if math.Abs(s.Makespan-2) > 1e-9 {
+		t.Fatalf("makespan = %g, want 2 (4 unit tasks on 2 live cores)", s.Makespan)
+	}
+	if math.Abs(s.IdealSpan-2) > 1e-9 {
+		t.Fatalf("IdealSpan = %g, want 2 (normalized by live cores)", s.IdealSpan)
+	}
+}
+
+func TestAllExecutorsBlacklistedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic with every executor blacklisted")
+		}
+	}()
+	Run(uniformTasks(2, 1), Options{
+		Cores: 4, CoresPerExecutor: 4, BlacklistedExecutors: []int{0},
+	})
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	mk := func() Schedule {
+		tasks := uniformTasks(32, 1)
+		for i := range tasks {
+			if i%3 == 0 {
+				tasks[i].FailedAttempts = []float64{0.2, 0.4}
+			}
+			if i%5 == 0 {
+				tasks[i].SlowFactor = 4
+			}
+		}
+		return Run(tasks, Options{
+			Cores: 8, CoresPerExecutor: 2, StragglerFrac: 0.25, Seed: 7,
+			RetryBackoff: 0.1, RestartWarmup: 0.3,
+			CrashedExecutors: []int{1, 3},
+		})
+	}
+	if a, b := mk(), mk(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault schedule not deterministic")
+	}
+}
+
+func TestSlowFactorStretchesTask(t *testing.T) {
+	slow := []Task{{ID: 0, Seconds: 1, SlowFactor: 4}}
+	s := Run(slow, Options{Cores: 1})
+	if math.Abs(s.Makespan-4) > 1e-9 {
+		t.Fatalf("makespan = %g, want 4", s.Makespan)
+	}
+}
+
+// TestSpeculateCloneWinsDoesNotRegressBusyCore covers the
+// free[a.Core] == a.Finish guard: when the outlier's original core
+// already took later work, a winning clone must not roll that core's
+// free time back.
+func TestSpeculateCloneWinsDoesNotRegressBusyCore(t *testing.T) {
+	// Core 0 ran the outlier (5–15) and then hosted a *failed* attempt
+	// of another task (15–16), so its free time is already committed
+	// past the outlier's finish. Core 1 ran two short tasks and sits
+	// idle from 2. The clone launches on core 1 at 2 and finishes at
+	// 12, beating the original's 15.
+	outlier := Task{ID: 0, Seconds: 10}
+	sched := &Schedule{
+		CoreFinish: make([]float64, 2),
+		Assignments: []Assignment{
+			{Task: outlier, Core: 0, Start: 5, Finish: 15, Stretch: 1},
+			{Task: Task{ID: 3, Seconds: 4}, Core: 0, Start: 15, Finish: 16, Stretch: 1, Failed: true},
+			{Task: Task{ID: 1, Seconds: 1}, Core: 1, Start: 0, Finish: 1, Stretch: 1},
+			{Task: Task{ID: 2, Seconds: 1}, Core: 1, Start: 1, Finish: 2, Stretch: 1},
+		},
+	}
+	h := &coreHeap{free: []float64{16, 2}, id: []int{0, 1}}
+	heap.Init(h)
+	speculate(h, sched, Options{Cores: 2}, []int{0, 1})
+
+	free := make([]float64, 2)
+	for i := 0; i < h.Len(); i++ {
+		free[h.id[i]] = h.free[i]
+	}
+	a := sched.Assignments[0]
+	if a.Core != 1 || math.Abs(a.Finish-12) > 1e-9 {
+		t.Fatalf("clone did not win as expected: %+v", a)
+	}
+	// The guard: core 0's free time is set by its later occupancy
+	// (16), not by the killed outlier, and must not regress to the
+	// clone finish.
+	if math.Abs(free[0]-16) > 1e-9 {
+		t.Fatalf("core 0 free = %g, want 16 (regressed past committed work)", free[0])
+	}
+	if math.Abs(free[1]-12) > 1e-9 {
+		t.Fatalf("core 1 free = %g, want 12", free[1])
+	}
+}
+
+// TestSpeculateTailFreesCore covers the complementary branch: when the
+// outlier *was* its core's last work, the kill does free the core.
+func TestSpeculateTailFreesCore(t *testing.T) {
+	// The outlier (stretched 2x: 5s of work over 1–11) is its core's
+	// last work; when the clone wins at 7, core 0 frees at 7 too.
+	outlier := Task{ID: 0, Seconds: 5}
+	sched := &Schedule{
+		CoreFinish: make([]float64, 2),
+		Assignments: []Assignment{
+			{Task: outlier, Core: 0, Start: 1, Finish: 11, Stretch: 2},
+			{Task: Task{ID: 1, Seconds: 1}, Core: 1, Start: 0, Finish: 1, Stretch: 1},
+			{Task: Task{ID: 2, Seconds: 1}, Core: 1, Start: 1, Finish: 2, Stretch: 1},
+		},
+	}
+	h := &coreHeap{free: []float64{11, 2}, id: []int{0, 1}}
+	heap.Init(h)
+	speculate(h, sched, Options{Cores: 2}, []int{0, 1})
+	free := make([]float64, 2)
+	for i := 0; i < h.Len(); i++ {
+		free[h.id[i]] = h.free[i]
+	}
+	a := sched.Assignments[0]
+	if a.Core != 1 || math.Abs(a.Finish-7) > 1e-9 {
+		t.Fatalf("clone did not win: %+v", a)
+	}
+	if math.Abs(free[0]-a.Finish) > 1e-9 {
+		t.Fatalf("core 0 free = %g, want %g (outlier was its last work)", free[0], a.Finish)
+	}
+}
+
+func TestSpeculateSkipsFailedAttempts(t *testing.T) {
+	// A long *failed* attempt is history, not a running task; it must
+	// not be cloned. All live tasks are uniform, so nothing qualifies.
+	sched := &Schedule{
+		CoreFinish: make([]float64, 2),
+		Assignments: []Assignment{
+			{Task: Task{ID: 0, Seconds: 10}, Core: 0, Start: 0, Finish: 10, Stretch: 1, Failed: true},
+			{Task: Task{ID: 0, Seconds: 1}, Core: 0, Start: 10, Finish: 11, Stretch: 1, Attempt: 1},
+			{Task: Task{ID: 1, Seconds: 1}, Core: 1, Start: 0, Finish: 1, Stretch: 1},
+		},
+	}
+	h := &coreHeap{free: []float64{11, 1}, id: []int{0, 1}}
+	heap.Init(h)
+	before := append([]Assignment(nil), sched.Assignments...)
+	speculate(h, sched, Options{Cores: 2}, []int{0, 1})
+	if !reflect.DeepEqual(before, sched.Assignments) {
+		t.Fatalf("speculation touched a failed attempt:\nbefore %+v\nafter  %+v", before, sched.Assignments)
+	}
+}

@@ -8,6 +8,20 @@
 // t_straggling term (OS jitter, JVM pauses, network hiccups); it is a
 // pure function of (seed, task id), so every run of an experiment
 // produces identical numbers.
+//
+// Failure is not free. A task's failed attempts (Task.FailedAttempts)
+// each occupy a core for the time the attempt ran before dying, and a
+// configurable RetryBackoff elapses before the next attempt may
+// launch. Executors — groups of CoresPerExecutor cores — can crash
+// once per stage (Options.CrashedExecutors): the crash kills every
+// attempt running on the executor's cores at that moment, the
+// replacement executor re-pays the broadcast-deserialization warm-up
+// (Options.RestartWarmup) on every core, and the killed tasks re-queue
+// behind the remaining work. Blacklisted executors
+// (Options.BlacklistedExecutors) receive no tasks at all. With none of
+// the fault options set, the schedule is byte-identical to the
+// pre-fault-layer scheduler, so all recorded experiment figures are
+// unchanged.
 package vcluster
 
 import (
@@ -20,17 +34,27 @@ import (
 )
 
 // Task is one schedulable unit: the metered cost of a partition's
-// computation, in seconds.
+// computation, in seconds, plus the attempt history of that partition.
 type Task struct {
 	ID      int
 	Seconds float64
+	// FailedAttempts holds the durations of earlier attempts of this
+	// task that failed (the time each ran before dying). Each occupies
+	// a core for that long, then RetryBackoff elapses before the next
+	// attempt launches.
+	FailedAttempts []float64
+	// SlowFactor > 1 stretches the task's attempts on top of the
+	// straggler draw (a fault-profile slow event: cgroup throttling,
+	// a sick disk). 0 or 1 means no extra slowdown.
+	SlowFactor float64
 }
 
 // Options configures a scheduling round.
 type Options struct {
 	// Cores is the number of virtual cores (p in the paper).
 	Cores int
-	// LaunchOverhead is added to every task (scheduler dispatch cost).
+	// LaunchOverhead is added to every task attempt (scheduler
+	// dispatch cost).
 	LaunchOverhead float64
 	// StragglerFrac scales the per-task straggler stretch: each task
 	// runs 1 + StragglerFrac*E/2 times slower, with E an Exp(1) draw
@@ -38,7 +62,9 @@ type Options struct {
 	// exponential tail matters: the makespan of a wide stage is set by
 	// the max over p draws, which grows like ln(p) — the behaviour
 	// behind the paper's t_straggling term and the efficiency collapse
-	// of its 512-core runs (Fig. 8e).
+	// of its 512-core runs (Fig. 8e). The draw is a property of the
+	// task, not the attempt: a retry re-runs the same computation, so
+	// it inherits the same stretch.
 	StragglerFrac float64
 	// Seed drives the deterministic straggler draw.
 	Seed uint64
@@ -56,15 +82,45 @@ type Options struct {
 	// SpeculationMultiplier defaults to 1.5 (Spark's
 	// spark.speculation.multiplier).
 	SpeculationMultiplier float64
+
+	// CoresPerExecutor groups cores into executor processes for the
+	// fault model; 0 (or >= Cores) means one executor holds every
+	// core. Executor e owns cores [e*CoresPerExecutor,
+	// (e+1)*CoresPerExecutor).
+	CoresPerExecutor int
+	// RetryBackoff is the scheduler delay between a failed attempt and
+	// the launch of its retry (charged as idle ready-time, not core
+	// occupancy).
+	RetryBackoff float64
+	// CrashPointFrac is how far through its duration the attempt that
+	// triggers an executor crash gets before dying, in (0, 1).
+	// Default 0.5.
+	CrashPointFrac float64
+	// RestartWarmup is the per-core warm-up a replacement executor
+	// pays after a crash (re-deserializing every live broadcast).
+	RestartWarmup float64
+	// CrashedExecutors lists executors that crash once during this
+	// stage. The crash fires when the executor first becomes fully
+	// occupied (its last idle core receives a task); every attempt
+	// then running on its cores dies at the crash point and re-queues.
+	// An executor whose cores are never all occupied during the stage
+	// has nothing meaningful to lose and does not crash.
+	CrashedExecutors []int
+	// BlacklistedExecutors lists executors excluded from scheduling
+	// entirely (spark.blacklist.*). At least one executor must remain
+	// usable.
+	BlacklistedExecutors []int
 }
 
-// Assignment records where and when one task ran.
+// Assignment records where and when one task attempt ran.
 type Assignment struct {
 	Task    Task
 	Core    int
 	Start   float64
 	Finish  float64
 	Stretch float64 // straggler multiplier applied
+	Attempt int     // 0-based attempt index for this task
+	Failed  bool    // the attempt died (retry history or executor crash)
 }
 
 // Schedule is the outcome of scheduling a task set.
@@ -72,9 +128,25 @@ type Schedule struct {
 	Makespan    float64
 	CoreFinish  []float64
 	Assignments []Assignment
-	// IdealSpan is sum(cost)/cores + overheads-free: the perfectly
-	// balanced lower bound, useful for efficiency reporting.
+	// IdealSpan is sum(cost)/usable cores + overheads-free: the
+	// perfectly balanced lower bound, useful for efficiency reporting.
 	IdealSpan float64
+
+	// FailedAttempts counts attempts that consumed core time and then
+	// died (both retry-history attempts and executor-crash kills).
+	FailedAttempts int
+	// RetrySeconds is the core-seconds occupied by failed attempts —
+	// the work the cluster paid for and threw away.
+	RetrySeconds float64
+	// BackoffSeconds is the total scheduler delay charged between
+	// failed attempts and their retries.
+	BackoffSeconds float64
+	// ExecutorFailures[e] counts failed attempts that ran on executor
+	// e's cores, the signal Spark's blacklist tracks.
+	ExecutorFailures []int
+	// Restarts counts executor crashes that were repaired by a
+	// replacement (each re-paying RestartWarmup on every core).
+	Restarts int
 }
 
 type coreHeap struct {
@@ -96,46 +168,219 @@ func (h *coreHeap) Swap(i, j int) {
 func (h *coreHeap) Push(x any) { panic("vcluster: fixed-size heap") }
 func (h *coreHeap) Pop() any   { panic("vcluster: fixed-size heap") }
 
+// workItem is one pending dispatch: a task plus the earliest time its
+// next attempt may launch (retry backoff after a failure).
+type workItem struct {
+	t     Task
+	ready float64
+	// redo marks a re-dispatch after an executor crash: the task's
+	// retry history was already scheduled, only the fresh attempt runs.
+	redo bool
+}
+
 // Run schedules tasks in the given order under opts. It panics if
-// opts.Cores < 1 (a programming error, not an input condition).
+// opts.Cores < 1 or if every executor is blacklisted (programming
+// errors, not input conditions).
 func Run(tasks []Task, opts Options) Schedule {
 	if opts.Cores < 1 {
 		panic(fmt.Sprintf("vcluster: need >= 1 core, got %d", opts.Cores))
 	}
-	h := &coreHeap{
-		free: make([]float64, opts.Cores),
-		id:   make([]int, opts.Cores),
+	cpe := opts.CoresPerExecutor
+	if cpe < 1 || cpe > opts.Cores {
+		cpe = opts.Cores
 	}
-	for i := range h.id {
-		h.id[i] = i
+	numExec := (opts.Cores + cpe - 1) / cpe
+	crashFrac := opts.CrashPointFrac
+	if crashFrac <= 0 || crashFrac >= 1 {
+		crashFrac = 0.5
+	}
+
+	blocked := make([]bool, numExec)
+	for _, e := range opts.BlacklistedExecutors {
+		if e >= 0 && e < numExec {
+			blocked[e] = true
+		}
+	}
+	var usable []int           // usable core ids, ascending
+	usableIn := make([]int, numExec) // usable cores per executor
+	for c := 0; c < opts.Cores; c++ {
+		if !blocked[c/cpe] {
+			usable = append(usable, c)
+			usableIn[c/cpe]++
+		}
+	}
+	if len(usable) == 0 {
+		panic("vcluster: every executor is blacklisted")
+	}
+
+	h := &coreHeap{
+		free: make([]float64, len(usable)),
+		id:   append([]int(nil), usable...),
+	}
+	for i := range h.free {
 		h.free[i] = opts.WarmupPerCore
 	}
 	heap.Init(h)
 
 	sched := Schedule{
-		CoreFinish:  make([]float64, opts.Cores),
-		Assignments: make([]Assignment, 0, len(tasks)),
+		CoreFinish:       make([]float64, opts.Cores),
+		Assignments:      make([]Assignment, 0, len(tasks)),
+		ExecutorFailures: make([]int, numExec),
 	}
-	var total float64
-	for _, t := range tasks {
+	crashPending := make([]bool, numExec)
+	for _, e := range opts.CrashedExecutors {
+		if e >= 0 && e < numExec && !blocked[e] {
+			crashPending[e] = true
+		}
+	}
+	occupied := make([]int, numExec) // attempt dispatches per executor
+	lastAsg := make([]int, opts.Cores)
+	for i := range lastAsg {
+		lastAsg[i] = -1
+	}
+	attemptNo := make(map[int]int, len(tasks))
+
+	stretchFor := func(t Task) float64 {
 		stretch := 1.0
 		if opts.StragglerFrac > 0 {
 			u := float64(rng.Hash64(opts.Seed^uint64(t.ID)*0x9e3779b97f4a7c15)>>11) / (1 << 53)
 			stretch = 1 + opts.StragglerFrac*(-math.Log(1-u))/2
 		}
+		if t.SlowFactor > 1 {
+			stretch *= t.SlowFactor
+		}
+		return stretch
+	}
+
+	queue := make([]workItem, len(tasks))
+	for i, t := range tasks {
+		queue[i] = workItem{t: t}
+	}
+
+	var total float64
+	for qi := 0; qi < len(queue); qi++ {
+		it := queue[qi]
+		t := it.t
+		ready := it.ready
+
+		// The task's retry history: each failed attempt occupies the
+		// then-earliest core until its failure point, then the backoff
+		// elapses before the next attempt may launch.
+		if !it.redo {
+			for _, fdur := range t.FailedAttempts {
+				start := h.free[0]
+				if ready > start {
+					start = ready
+				}
+				core := h.id[0]
+				finish := start + fdur + opts.LaunchOverhead
+				h.free[0] = finish
+				heap.Fix(h, 0)
+				a := attemptNo[t.ID]
+				attemptNo[t.ID] = a + 1
+				occupied[core/cpe]++
+				lastAsg[core] = len(sched.Assignments)
+				sched.Assignments = append(sched.Assignments, Assignment{
+					Task: t, Core: core, Start: start, Finish: finish,
+					Stretch: 1, Attempt: a, Failed: true,
+				})
+				sched.FailedAttempts++
+				sched.RetrySeconds += finish - start
+				sched.ExecutorFailures[core/cpe]++
+				ready = finish + opts.RetryBackoff
+				sched.BackoffSeconds += opts.RetryBackoff
+			}
+		}
+
+		// The fresh attempt.
+		stretch := stretchFor(t)
 		dur := t.Seconds*stretch + opts.LaunchOverhead
 		start := h.free[0]
+		if ready > start {
+			start = ready
+		}
 		core := h.id[0]
+		e := core / cpe
+		a := attemptNo[t.ID]
+		attemptNo[t.ID] = a + 1
+
+		occupied[e]++
+		if crashPending[e] && occupied[e] >= usableIn[e] {
+			// The executor just became fully occupied; it crashes
+			// partway through this attempt, killing every attempt
+			// running on its cores.
+			crashPending[e] = false
+			sched.Restarts++
+			crashTime := start + crashFrac*dur
+			lastAsg[core] = len(sched.Assignments)
+			sched.Assignments = append(sched.Assignments, Assignment{
+				Task: t, Core: core, Start: start, Finish: crashTime,
+				Stretch: stretch, Attempt: a, Failed: true,
+			})
+			sched.FailedAttempts++
+			sched.RetrySeconds += crashTime - start
+			sched.ExecutorFailures[e]++
+			queue = append(queue, workItem{t: t, ready: crashTime + opts.RetryBackoff, redo: true})
+			sched.BackoffSeconds += opts.RetryBackoff
+
+			for i := 0; i < h.Len(); i++ {
+				c2 := h.id[i]
+				if c2/cpe != e || c2 == core {
+					continue
+				}
+				li := lastAsg[c2]
+				if li < 0 {
+					continue
+				}
+				v := &sched.Assignments[li]
+				if v.Failed || v.Finish <= crashTime {
+					continue
+				}
+				// Still running when the executor died: its work so
+				// far is lost and it re-queues.
+				if v.Start > crashTime {
+					v.Finish = v.Start
+				} else {
+					v.Finish = crashTime
+				}
+				v.Failed = true
+				h.free[i] = crashTime
+				total -= v.Task.Seconds // the redo dispatch re-adds it
+				sched.FailedAttempts++
+				sched.RetrySeconds += v.Finish - v.Start
+				sched.ExecutorFailures[e]++
+				queue = append(queue, workItem{t: v.Task, ready: crashTime + opts.RetryBackoff, redo: true})
+				sched.BackoffSeconds += opts.RetryBackoff
+			}
+			// The replacement executor re-pays the broadcast warm-up
+			// on every core before taking new work.
+			for i := 0; i < h.Len(); i++ {
+				if h.id[i]/cpe != e {
+					continue
+				}
+				f := h.free[i]
+				if f < crashTime {
+					f = crashTime
+				}
+				h.free[i] = f + opts.RestartWarmup
+			}
+			heap.Init(h)
+			continue
+		}
+
 		finish := start + dur
 		h.free[0] = finish
 		heap.Fix(h, 0)
+		lastAsg[core] = len(sched.Assignments)
 		sched.Assignments = append(sched.Assignments, Assignment{
-			Task: t, Core: core, Start: start, Finish: finish, Stretch: stretch,
+			Task: t, Core: core, Start: start, Finish: finish,
+			Stretch: stretch, Attempt: a,
 		})
 		total += t.Seconds
 	}
+
 	if opts.Speculation {
-		speculate(h, &sched, opts)
+		speculate(h, &sched, opts, usable)
 	}
 	for i := 0; i < h.Len(); i++ {
 		sched.CoreFinish[h.id[i]] = h.free[i]
@@ -148,7 +393,7 @@ func Run(tasks []Task, opts Options) Schedule {
 			sched.Makespan = sched.Assignments[i].Finish
 		}
 	}
-	sched.IdealSpan = total/float64(opts.Cores) + opts.WarmupPerCore
+	sched.IdealSpan = total/float64(len(usable)) + opts.WarmupPerCore
 	return sched
 }
 
@@ -156,22 +401,30 @@ func Run(tasks []Task, opts Options) Schedule {
 // when its stretched duration exceeds SpeculationMultiplier times the
 // median task duration. The surviving finish time is the earlier of the
 // original attempt and the clone; the slower attempt is killed at that
-// moment (both cores free then), matching Spark's behaviour.
-func speculate(h *coreHeap, sched *Schedule, opts Options) {
+// moment (both cores free then), matching Spark's behaviour. Failed
+// attempts never speculate — their outcome is already known — and
+// clones only launch on usable (non-blacklisted) cores.
+func speculate(h *coreHeap, sched *Schedule, opts Options, usable []int) {
 	mult := opts.SpeculationMultiplier
 	if mult <= 1 {
 		mult = 1.5
 	}
-	n := len(sched.Assignments)
-	if n == 0 {
+	var live []int // indices of successful assignments
+	for i := range sched.Assignments {
+		if !sched.Assignments[i].Failed {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
 		return
 	}
-	durs := make([]float64, n)
-	for i, a := range sched.Assignments {
+	durs := make([]float64, len(live))
+	for i, idx := range live {
+		a := sched.Assignments[idx]
 		durs[i] = a.Finish - a.Start
 	}
 	sortFloats(durs)
-	median := durs[n/2]
+	median := durs[len(durs)/2]
 	if median <= 0 {
 		return
 	}
@@ -182,18 +435,14 @@ func speculate(h *coreHeap, sched *Schedule, opts Options) {
 		free[h.id[i]] = h.free[i]
 	}
 	// Slowest outliers first: they benefit most from the idle cores.
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
-	sortByFinishDesc(sched.Assignments, order)
-	for _, idx := range order {
+	sortByFinishDesc(sched.Assignments, live)
+	for _, idx := range live {
 		a := &sched.Assignments[idx]
 		if a.Finish-a.Start <= mult*median {
 			break // sorted: no later entry qualifies either
 		}
-		clone := 0
-		for c := 1; c < opts.Cores; c++ {
+		clone := usable[0]
+		for _, c := range usable[1:] {
 			if free[c] < free[clone] {
 				clone = c
 			}
