@@ -175,6 +175,10 @@ func RunBench(args []string, stdout io.Writer) error {
 		faultbench  = fs.String("faultbench", "", "run the fault-injection benchmark, write JSON to this path (e.g. BENCH_faults.json), and exit")
 		faultseeds  = fs.String("faultseeds", "11,23,47", "comma-separated fault-profile seeds for -faultbench")
 		faultpoints = fs.Int("faultpoints", 4000, "dataset points for -faultbench")
+
+		storagebench  = fs.String("storagebench", "", "run the storage-fault benchmark, write JSON to this path (e.g. BENCH_storage.json), and exit")
+		storageseeds  = fs.String("storageseeds", "11,23,47", "comma-separated storage-profile seeds for -storagebench")
+		storagepoints = fs.Int("storagepoints", 4000, "dataset points for -storagebench")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -192,6 +196,17 @@ func RunBench(args []string, stdout io.Writer) error {
 			seeds = append(seeds, v)
 		}
 		return bench.RunFaultBench(stdout, *faultbench, seeds, *faultpoints)
+	}
+	if *storagebench != "" {
+		var seeds []uint64
+		for _, s := range strings.Split(*storageseeds, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return fmt.Errorf("benchrunner: bad -storageseeds entry %q: %w", s, err)
+			}
+			seeds = append(seeds, v)
+		}
+		return bench.RunStorageBench(stdout, *storagebench, seeds, *storagepoints)
 	}
 	if *list {
 		for _, e := range bench.All() {

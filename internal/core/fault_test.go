@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"testing"
 
+	"sparkdbscan/internal/hdfs"
 	"sparkdbscan/internal/spark"
 )
 
@@ -51,32 +52,49 @@ func faultSeeds(t *testing.T) []uint64 {
 
 // TestFaultSchedulesNeverChangeLabels is the end-to-end property test
 // of the failure layer: under any seeded fault schedule — task
-// failures, slow tasks, executor crashes, blacklisting — the pipeline
-// produces bit-identical labels and partial-cluster counts (the latter
-// flows through an accumulator, so this also checks exactly-once
-// semantics under retries), while the faults strictly cost executor
-// time.
+// failures, slow tasks, executor crashes, blacklisting, corrupt block
+// replicas, datanode crashes, and a driver crash mid-merge — the
+// pipeline produces bit-identical labels and partial-cluster counts
+// (the latter flows through an accumulator and the journal, so this
+// also checks exactly-once semantics under retries and exactly-once
+// journal replay), while the faults strictly cost time.
 func TestFaultSchedulesNeverChangeLabels(t *testing.T) {
 	ds := testDataset(t, "c10k", 2500)
-	run := func(p *spark.FaultProfile) (*Result, spark.Report) {
+	run := func(p *spark.FaultProfile, storage *StorageOptions) (*Result, spark.Report) {
 		sctx := spark.NewContext(spark.Config{
 			Cores: 16, CoresPerExecutor: 4, Seed: 42, Faults: p,
 		})
-		res, err := Run(sctx, ds, Config{Params: tableParams, Partitions: 8})
+		res, err := Run(sctx, ds, Config{Params: tableParams, Partitions: 8, Storage: storage})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res, sctx.Report()
 	}
-	clean, cleanRep := run(nil)
+	clean, cleanRep := run(nil, nil)
 	builtin := map[uint64]bool{11: true, 23: true, 47: true}
 	for _, seed := range faultSeeds(t) {
+		// Storage faults ride the same seed: a replicated cluster with
+		// the run's input on it, corrupt replicas, dead datanodes, and
+		// a driver that dies mid-merge.
+		fs := hdfs.NewCluster(1<<14, 3, 6)
+		if err := fs.Write("input", make([]byte, ds.SizeBytes()), nil); err != nil {
+			t.Fatal(err)
+		}
+		fs.SetFaultProfile(&hdfs.StorageFaultProfile{
+			Seed:              seed,
+			CorruptRate:       0.3,
+			DatanodeCrashRate: 0.4,
+		})
 		res, rep := run(&spark.FaultProfile{
 			Seed:                seed,
 			TaskFailRate:        0.3,
 			SlowRate:            0.2,
 			ExecutorCrashRate:   0.5,
 			MaxExecutorFailures: 6,
+		}, &StorageOptions{
+			FS:                  fs,
+			InputFile:           "input",
+			SimulateDriverCrash: true,
 		})
 		for i := range clean.Global.Labels {
 			if res.Global.Labels[i] != clean.Global.Labels[i] {
@@ -87,9 +105,19 @@ func TestFaultSchedulesNeverChangeLabels(t *testing.T) {
 			t.Fatalf("seed %d: partials %d != %d (accumulator not exactly-once?)",
 				seed, res.Global.NumPartialClusters, clean.Global.NumPartialClusters)
 		}
+		if res.Recovery.DriverCrashes != 1 ||
+			res.Recovery.ReplayedClusters != res.Recovery.JournaledClusters ||
+			res.Recovery.ReplayedClusters != clean.Global.NumPartialClusters {
+			t.Fatalf("seed %d: journal replay not exactly-once: %+v (want %d clusters)",
+				seed, res.Recovery, clean.Global.NumPartialClusters)
+		}
 		if rep.ExecutorSeconds < cleanRep.ExecutorSeconds {
 			t.Fatalf("seed %d: faults made the run faster: %g < %g",
 				seed, rep.ExecutorSeconds, cleanRep.ExecutorSeconds)
+		}
+		if rep.DriverSeconds <= cleanRep.DriverSeconds {
+			t.Fatalf("seed %d: storage faults + driver crash cost no driver time: %g vs %g",
+				seed, rep.DriverSeconds, cleanRep.DriverSeconds)
 		}
 		fired := rep.FailedAttempts() > 0 || rep.ExecutorRestarts > 0
 		if builtin[seed] && !fired {
@@ -98,6 +126,10 @@ func TestFaultSchedulesNeverChangeLabels(t *testing.T) {
 		if fired && rep.ExecutorSeconds <= cleanRep.ExecutorSeconds {
 			t.Fatalf("seed %d: failures were free: clean %g, faulty %g",
 				seed, cleanRep.ExecutorSeconds, rep.ExecutorSeconds)
+		}
+		if st := fs.Stats(); builtin[seed] &&
+			st.ChecksumFailures == 0 && st.DeadNodeProbes == 0 {
+			t.Fatalf("seed %d: storage profile never fired", seed)
 		}
 	}
 }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"sparkdbscan/internal/hdfs"
+	"sparkdbscan/internal/simtime"
+)
+
+// StorageOptions wires the runner to the simulated HDFS so the job
+// survives storage faults and a driver crash mid-merge. With the zero
+// value (or a nil FS) the runner behaves byte-identically to a run
+// without storage options — pinned by TestCleanPathUnchangedByStorageOptions.
+type StorageOptions struct {
+	// FS is the filesystem used for the input read, the partial-cluster
+	// journal, and recovery. Required for any of the other fields to
+	// take effect.
+	FS *hdfs.FileSystem
+	// InputFile, when non-empty, makes the Δ read-transform phase read
+	// the named file from FS (through the replica-failover path when a
+	// StorageFaultProfile is active) instead of charging the dataset's
+	// byte size directly. The file must already exist and its size is
+	// what the phase is charged for.
+	InputFile string
+	// JournalFile is where committed partial clusters are journaled.
+	// Default "journal/partials.bin". Any stale file from a previous
+	// run is deleted when the job starts.
+	JournalFile string
+	// SimulateDriverCrash kills the driver partway through the merge:
+	// the work done so far is wasted, a fresh driver replays the
+	// journal from FS and merges the replayed partial clusters. Labels
+	// are byte-identical to the crash-free run because the journal
+	// records commits in accumulator order.
+	SimulateDriverCrash bool
+	// CrashPointFrac is how far through the merge the crash strikes,
+	// in (0, 1). Default 0.5.
+	CrashPointFrac float64
+}
+
+func (s *StorageOptions) journalFile() string {
+	if s.JournalFile == "" {
+		return "journal/partials.bin"
+	}
+	return s.JournalFile
+}
+
+func (s *StorageOptions) crashPointFrac() float64 {
+	if s.CrashPointFrac <= 0 || s.CrashPointFrac >= 1 {
+		return 0.5
+	}
+	return s.CrashPointFrac
+}
+
+// RecoveryReport summarizes the storage-layer activity of one run.
+type RecoveryReport struct {
+	JournaledClusters int   // partial clusters appended to the journal
+	JournalBytes      int64 // encoded journal size
+	DriverCrashes     int   // simulated driver crashes survived
+	ReplayedClusters  int   // partial clusters decoded during recovery
+}
+
+// journal appends committed partial clusters to an HDFS file as
+// length-prefixed binary records, in exactly the order the accumulator
+// merged them — the property that makes replay reproduce the
+// accumulator's slice, and therefore the merge's label numbering, byte
+// for byte. commit runs inside the accumulator's OnCommit hook (under
+// its lock), so the write work is accumulated here and charged to the
+// driver once, keeping task ledgers independent of commit order.
+type journal struct {
+	fs   *hdfs.FileSystem
+	name string
+
+	mu    sync.Mutex
+	count int
+	bytes int64
+	work  simtime.Work
+	err   error
+}
+
+func newJournal(fs *hdfs.FileSystem, name string) *journal {
+	fs.Delete(name)
+	// Create the (empty) file up front so a job that commits no partial
+	// clusters still replays an empty journal rather than a missing one.
+	fs.Write(name, nil, nil)
+	return &journal{fs: fs, name: name}
+}
+
+// commit encodes one committed accumulator update and appends it.
+func (j *journal) commit(pcs []PartialCluster) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	var buf []byte
+	for i := range pcs {
+		rec, err := pcs[i].MarshalBinary()
+		if err != nil {
+			j.err = err
+			return
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec)))
+		buf = append(buf, rec...)
+	}
+	j.work.SerBytes += int64(len(buf))
+	if err := j.fs.Append(j.name, buf, &j.work); err != nil {
+		j.err = err
+		return
+	}
+	j.count += len(pcs)
+	j.bytes += int64(len(buf))
+}
+
+// flush surfaces any deferred error and returns the accumulated write
+// work (journal encoding + replicated appends) for the driver ledger.
+func (j *journal) flush() (simtime.Work, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.work, j.err
+}
+
+// replay reads the journal back (through the replica-failover path)
+// and decodes the partial clusters in journaled order, charging the
+// read and decode to w.
+func (j *journal) replay(w *simtime.Work) ([]PartialCluster, error) {
+	if w == nil {
+		w = &simtime.Work{}
+	}
+	data, err := j.fs.Read(j.name, w)
+	if err != nil {
+		return nil, fmt.Errorf("core: journal replay: %w", err)
+	}
+	w.SerBytes += int64(len(data))
+	var out []PartialCluster
+	for pos := 0; pos < len(data); {
+		if pos+4 > len(data) {
+			return nil, fmt.Errorf("core: journal truncated at byte %d", pos)
+		}
+		n := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if n < 0 || pos+n > len(data) {
+			return nil, fmt.Errorf("core: journal record length %d exceeds file at byte %d", n, pos)
+		}
+		var pc PartialCluster
+		if err := pc.UnmarshalBinary(data[pos : pos+n]); err != nil {
+			return nil, fmt.Errorf("core: journal record at byte %d: %w", pos, err)
+		}
+		out = append(out, pc)
+		pos += n
+	}
+	return out, nil
+}

@@ -37,6 +37,12 @@ type Config struct {
 	SpatialPartitioning bool
 	// LeafSize overrides the kd-tree bucket size (0 = default).
 	LeafSize int
+	// Storage, when set with a non-nil FS, journals committed partial
+	// clusters to HDFS and makes the run recoverable from storage
+	// faults and a simulated driver crash mid-merge. Nil (or a nil FS)
+	// leaves the pipeline byte-identical to the pre-storage-layer
+	// runner.
+	Storage *StorageOptions
 }
 
 // Phases is the per-phase time decomposition matching §IV-C:
@@ -50,11 +56,14 @@ type Phases struct {
 	Broadcast     float64
 	Executors     float64
 	Merge         float64
+	// Journal is driver time spent writing the partial-cluster journal
+	// (plus re-replication repair work). Zero without StorageOptions.
+	Journal float64
 }
 
 // Driver returns the total driver-side time.
 func (p Phases) Driver() float64 {
-	return p.ReadTransform + p.TreeBuild + p.Broadcast + p.Merge
+	return p.ReadTransform + p.TreeBuild + p.Broadcast + p.Merge + p.Journal
 }
 
 // Total returns driver + executor time.
@@ -69,6 +78,9 @@ type Result struct {
 	Stats kdtree.SearchStats
 	// LocalNoise sums per-partition unclaimed points (diagnostics).
 	LocalNoise int
+	// Recovery summarizes journal and driver-recovery activity; zero
+	// without StorageOptions.
+	Recovery RecoveryReport
 }
 
 // broadcastPayload is what the driver ships to every executor: the
@@ -100,6 +112,13 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	// A StorageOptions without a filesystem is inert: the run is
+	// byte-identical to one with no storage options at all.
+	st := cfg.Storage
+	if st != nil && st.FS == nil {
+		st = nil
+	}
+
 	res := &Result{}
 	driverBefore := func() float64 { return sctx.Report().DriverSeconds }
 	execBefore := func() float64 { return sctx.Report().ExecutorSeconds }
@@ -113,7 +132,15 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 	var order []int32
 	d0 := driverBefore()
 	err = sctx.RunInDriver("read+transform", func(w *simtime.Work) error {
-		w.HDFSBytes += ds.SizeBytes()
+		if st != nil && st.InputFile != "" {
+			// Read the named input through the replica-failover path,
+			// so corrupt blocks and dead datanodes cost ingestion time.
+			if _, err := st.FS.Read(st.InputFile, w); err != nil {
+				return err
+			}
+		} else {
+			w.HDFSBytes += ds.SizeBytes()
+		}
 		w.Elems += int64(n)
 		if cfg.SpatialPartitioning {
 			order = SpatialOrder(ds)
@@ -173,6 +200,14 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 	rdd.SetSizeFunc(func(int32) int64 { return pointBytes })
 
 	acc := spark.SliceAccumulator[PartialCluster](sctx)
+	var jr *journal
+	if st != nil {
+		// Journal every committed partial cluster in accumulator order,
+		// so a replay reproduces the accumulator's slice — and hence the
+		// merge's label numbering — byte for byte.
+		jr = newJournal(st.FS, st.journalFile())
+		acc.OnCommit(jr.commit)
+	}
 	noiseAcc := spark.CounterAccumulator(sctx)
 	statsAcc := spark.NewAccumulator(sctx, kdtree.SearchStats{},
 		func(a, b kdtree.SearchStats) kdtree.SearchStats { a.Add(b); return a })
@@ -212,13 +247,62 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 	res.LocalNoise = int(noiseAcc.Value())
 	res.Stats = statsAcc.Value()
 
-	// Phase 5: driver merge (Algorithm 4 / union-find).
+	// Phase 4b: account for the journal writes (driver-side work — the
+	// accumulator lands at the driver, so appending commits to HDFS is
+	// the driver's cost, independent of which executor finished first)
+	// and for the namenode's background re-replication after datanode
+	// loss.
+	if jr != nil {
+		d0 = driverBefore()
+		err = sctx.RunInDriver("journal", func(w *simtime.Work) error {
+			jw, err := jr.flush()
+			if err != nil {
+				return err
+			}
+			w.Add(jw)
+			w.Add(st.FS.RepairWork())
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Phases.Journal = driverBefore() - d0
+		res.Recovery.JournaledClusters = jr.count
+		res.Recovery.JournalBytes = jr.bytes
+	}
+
+	// Phase 5: driver merge (Algorithm 4 / union-find). With a
+	// simulated driver crash, the first merge attempt dies at
+	// CrashPointFrac of its span, a fresh driver replays the journal,
+	// and the merge runs on the replayed partial clusters — which are
+	// the accumulator's slice byte for byte, so labels are identical.
 	d0 = driverBefore()
-	err = sctx.RunInDriver("merge", func(w *simtime.Work) error {
-		res.Global = Merge(partials, n, cfg.Merge)
-		w.Add(res.Global.Work)
-		return nil
-	})
+	if st != nil && st.SimulateDriverCrash {
+		err = sctx.RunInDriver("merge (recovered)", func(w *simtime.Work) error {
+			replayed, err := jr.replay(w)
+			if err != nil {
+				return err
+			}
+			if len(replayed) != res.Recovery.JournaledClusters {
+				return fmt.Errorf("core: journal replayed %d clusters, journaled %d",
+					len(replayed), res.Recovery.JournaledClusters)
+			}
+			res.Global = Merge(replayed, n, cfg.Merge)
+			w.Add(res.Global.Work)
+			// The doomed first attempt's progress is wasted work the
+			// recovered merge pays again.
+			w.MergeOps += int64(st.crashPointFrac() * float64(res.Global.Work.MergeOps))
+			res.Recovery.DriverCrashes = 1
+			res.Recovery.ReplayedClusters = len(replayed)
+			return nil
+		})
+	} else {
+		err = sctx.RunInDriver("merge", func(w *simtime.Work) error {
+			res.Global = Merge(partials, n, cfg.Merge)
+			w.Add(res.Global.Work)
+			return nil
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

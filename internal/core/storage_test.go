@@ -1,0 +1,143 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"sparkdbscan/internal/hdfs"
+	"sparkdbscan/internal/spark"
+)
+
+// TestCleanPathUnchangedByStorageOptions pins the acceptance criterion
+// that with no storage profile, journal, or checkpoints configured the
+// pipeline is byte-identical to the pre-storage-layer runner: an inert
+// StorageOptions (nil FS) changes nothing at all, and a journaling run
+// without faults changes only the dedicated Journal phase.
+func TestCleanPathUnchangedByStorageOptions(t *testing.T) {
+	ds := testDataset(t, "r10k", 1500)
+	run := func(storage *StorageOptions) *Result {
+		sctx := spark.NewContext(spark.Config{Cores: 8, Seed: 7})
+		res, err := Run(sctx, ds, Config{Params: tableParams, Partitions: 6, Storage: storage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	inert := run(&StorageOptions{}) // no FS: must be a no-op
+	if !reflect.DeepEqual(plain, inert) {
+		t.Fatalf("inert StorageOptions changed the run:\nplain %+v\ninert %+v", plain, inert)
+	}
+
+	// Journaling without faults: identical labels and identical
+	// read/executor/merge phases; only the Journal phase appears.
+	fs := hdfs.New(1<<16, 3)
+	journaled := run(&StorageOptions{FS: fs})
+	for i := range plain.Global.Labels {
+		if journaled.Global.Labels[i] != plain.Global.Labels[i] {
+			t.Fatalf("label %d changed by journaling", i)
+		}
+	}
+	if journaled.Phases.Executors != plain.Phases.Executors {
+		t.Fatalf("journaling changed executor time: %g vs %g",
+			journaled.Phases.Executors, plain.Phases.Executors)
+	}
+	if journaled.Phases.Merge != plain.Phases.Merge {
+		t.Fatalf("journaling changed merge time: %g vs %g",
+			journaled.Phases.Merge, plain.Phases.Merge)
+	}
+	if journaled.Phases.ReadTransform != plain.Phases.ReadTransform {
+		t.Fatalf("journaling changed read time: %g vs %g",
+			journaled.Phases.ReadTransform, plain.Phases.ReadTransform)
+	}
+	if journaled.Phases.Journal <= 0 {
+		t.Fatal("journal writes cost no driver time")
+	}
+	if journaled.Recovery.JournaledClusters != journaled.Global.NumPartialClusters {
+		t.Fatalf("journaled %d clusters, accumulator delivered %d",
+			journaled.Recovery.JournaledClusters, journaled.Global.NumPartialClusters)
+	}
+	if plain.Phases.Journal != 0 || plain.Recovery != (RecoveryReport{}) {
+		t.Fatalf("plain run has storage artifacts: %+v %+v", plain.Phases.Journal, plain.Recovery)
+	}
+}
+
+// TestDriverCrashRecoversByteIdenticalLabels kills the driver mid-merge
+// and recovers from the journal: labels and partial-cluster counts are
+// byte-identical, the journal replays exactly once, and the recovery
+// strictly costs driver time.
+func TestDriverCrashRecoversByteIdenticalLabels(t *testing.T) {
+	ds := testDataset(t, "c10k", 2000)
+	run := func(storage *StorageOptions) *Result {
+		sctx := spark.NewContext(spark.Config{Cores: 8, Seed: 11})
+		res, err := Run(sctx, ds, Config{Params: tableParams, Partitions: 6, Storage: storage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(nil)
+	fs := hdfs.New(1<<16, 3)
+	crashed := run(&StorageOptions{FS: fs, SimulateDriverCrash: true, CrashPointFrac: 0.7})
+	for i := range clean.Global.Labels {
+		if crashed.Global.Labels[i] != clean.Global.Labels[i] {
+			t.Fatalf("label %d differs after driver recovery", i)
+		}
+	}
+	if crashed.Global.NumPartialClusters != clean.Global.NumPartialClusters {
+		t.Fatalf("partials %d != %d after recovery",
+			crashed.Global.NumPartialClusters, clean.Global.NumPartialClusters)
+	}
+	rec := crashed.Recovery
+	if rec.DriverCrashes != 1 {
+		t.Fatalf("DriverCrashes = %d, want 1", rec.DriverCrashes)
+	}
+	if rec.ReplayedClusters != rec.JournaledClusters ||
+		rec.ReplayedClusters != clean.Global.NumPartialClusters {
+		t.Fatalf("replay not exactly-once: journaled %d, replayed %d, want %d",
+			rec.JournaledClusters, rec.ReplayedClusters, clean.Global.NumPartialClusters)
+	}
+	if crashed.Phases.Merge <= clean.Phases.Merge {
+		t.Fatalf("crash+recovery did not cost merge time: %g vs clean %g",
+			crashed.Phases.Merge, clean.Phases.Merge)
+	}
+	if rec.JournalBytes <= 0 {
+		t.Fatal("no journal bytes recorded")
+	}
+}
+
+// TestJournalRoundTripPreservesOrder checks the journal codec directly:
+// commits replay in order, byte for byte.
+func TestJournalRoundTripPreservesOrder(t *testing.T) {
+	fs := hdfs.New(64, 2) // tiny blocks: records straddle block bounds
+	jr := newJournal(fs, "j")
+	commits := [][]PartialCluster{
+		{{Partition: 2, Seq: 0, Members: []int32{5, 6, 7}, Seeds: []int32{9}}},
+		{{Partition: 0, Seq: 0, Members: []int32{1}}, {Partition: 0, Seq: 1, Borders: []int32{3, 4}}},
+		{}, // a task that found no clusters still commits
+		{{Partition: 1, Seq: 0, Seeds: []int32{8, 2}}},
+	}
+	var want []PartialCluster
+	for _, c := range commits {
+		jr.commit(c)
+		want = append(want, c...)
+	}
+	if _, err := jr.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if jr.count != len(want) {
+		t.Fatalf("journal count %d, want %d", jr.count, len(want))
+	}
+	got, err := jr.replay(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\ngot  %v\nwant %v", got, want)
+	}
+	// An empty journal replays as empty, not as an error.
+	empty := newJournal(fs, "j2")
+	if got, err := empty.replay(nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty journal replay: %v, %v", got, err)
+	}
+}

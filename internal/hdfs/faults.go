@@ -1,0 +1,102 @@
+package hdfs
+
+import (
+	"sparkdbscan/internal/rng"
+	"sparkdbscan/internal/simtime"
+)
+
+// StorageFaultProfile injects deterministic storage faults: silently
+// corrupted block replicas (caught by the per-block CRC on read) and
+// crashed datanodes (their replicas become unreachable). Every draw is
+// a pure function of (Seed, kind, file, block, replica), so the same
+// profile produces the same fault schedule on every run and every
+// retried task attempt pays exactly the same failover cost — the
+// property the end-to-end label-invariance tests rely on.
+//
+// The profile never corrupts a block's last healthy replica and never
+// crashes the last live datanode, so reads always eventually succeed:
+// like the compute-layer FaultProfile, it models recoverable faults
+// that move time, never data.
+type StorageFaultProfile struct {
+	// Seed drives all storage-fault draws.
+	Seed uint64
+	// CorruptRate in [0, 1) is the per-(block, replica) probability of
+	// silent corruption. A corrupt replica is read in full, fails its
+	// CRC verification, and the client fails over to the next replica —
+	// all of it charged.
+	CorruptRate float64
+	// DatanodeCrashRate in [0, 1) is the per-datanode probability that
+	// the node is down for the whole job. Replicas on a dead node cost
+	// a probe + backoff before the client fails over.
+	DatanodeCrashRate float64
+	// RetryBackoff is the client delay before each failover retry.
+	// Zero means the 0.05 s default (HDFS's dead-node retry window);
+	// negative means no backoff. Shares simtime.DefaultedBackoff with
+	// the compute layer's FaultProfile.RetryBackoff.
+	RetryBackoff float64
+}
+
+// DefaultStorageRetryBackoff is the default client failover delay.
+const DefaultStorageRetryBackoff = 0.05
+
+// effectiveBackoff applies the shared zero-means-default convention.
+func (p *StorageFaultProfile) effectiveBackoff() float64 {
+	return simtime.DefaultedBackoff(p.RetryBackoff, DefaultStorageRetryBackoff)
+}
+
+// Draw domains, mixed into the hash so the corruption and crash streams
+// are independent (the storage analogue of spark's drawTaskFail/...).
+const (
+	drawCorruptBlock uint64 = 0x5707a6e + iota
+	drawDatanodeCrash
+)
+
+// draw returns a uniform [0,1) value, a pure function of its inputs.
+func (p *StorageFaultProfile) draw(kind, a uint64, b, c int) float64 {
+	x := p.Seed ^ kind ^ a*0x9e3779b97f4a7c15 ^
+		uint64(b)*0xbf58476d1ce4e5b9 ^ uint64(c)*0x94d049bb133111eb
+	return float64(rng.Hash64(x)>>11) / (1 << 53)
+}
+
+// nodeDown reports whether datanode n crashed, given the cluster size.
+// At least one datanode always survives: if every raw draw says
+// "crash", the node with the largest draw value is revived (a
+// deterministic choice — the same node on every run).
+func (p *StorageFaultProfile) nodeDown(n, numNodes int) bool {
+	if p.DatanodeCrashRate <= 0 {
+		return false
+	}
+	if p.draw(drawDatanodeCrash, 0, n, 0) >= p.DatanodeCrashRate {
+		return false
+	}
+	// n's raw draw says crash. Revive it only if it is the designated
+	// survivor of an otherwise fully-crashed cluster.
+	best, bestDraw := -1, -1.0
+	for m := 0; m < numNodes; m++ {
+		d := p.draw(drawDatanodeCrash, 0, m, 0)
+		if d >= p.DatanodeCrashRate {
+			return true // someone else survives naturally
+		}
+		if d > bestDraw {
+			best, bestDraw = m, d
+		}
+	}
+	return n != best
+}
+
+// rawCorrupt is the unprotected corruption draw for replica idx of
+// (file, block).
+func (p *StorageFaultProfile) rawCorrupt(fileHash uint64, block, idx int) bool {
+	return p.CorruptRate > 0 &&
+		p.draw(drawCorruptBlock, fileHash, block, idx) < p.CorruptRate
+}
+
+// fileHash folds a file name into the 64-bit value the per-block draws
+// mix in, via the same splitmix finalizer the rest of the repo uses.
+func fileHash(name string) uint64 {
+	h := uint64(len(name)) * 0x9e3779b97f4a7c15
+	for i := 0; i < len(name); i++ {
+		h = rng.Hash64(h ^ uint64(name[i]))
+	}
+	return h
+}

@@ -1,0 +1,319 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+
+	"sparkdbscan/internal/simtime"
+)
+
+// faultyFS builds a small cluster with a file spread over several
+// blocks and an aggressive fault profile attached.
+func faultyFS(t *testing.T, p *StorageFaultProfile) (*FileSystem, []byte) {
+	t.Helper()
+	fs := NewCluster(16, 3, 5)
+	data := make([]byte, 100)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	if err := fs.Write("f", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultProfile(p)
+	return fs, data
+}
+
+func TestCleanChargesUnchangedWithoutProfile(t *testing.T) {
+	// With no profile attached the read path must be byte-identical to
+	// the pre-fault-layer filesystem: HDFSBytes only, no checksum or
+	// retry lines, and writes charge len × replication.
+	fs := New(0, 3)
+	data := make([]byte, 1000)
+	var w simtime.Work
+	if err := fs.Write("f", data, &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.HDFSBytes != 3000 {
+		t.Fatalf("write charged %d, want 3000", w.HDFSBytes)
+	}
+	var r simtime.Work
+	if _, err := fs.Read("f", &r); err != nil {
+		t.Fatal(err)
+	}
+	if r != (simtime.Work{HDFSBytes: 1000}) {
+		t.Fatalf("clean read ledger polluted: %+v", r)
+	}
+	var ra simtime.Work
+	if _, err := fs.ReadAt("f", 10, 50, &ra); err != nil {
+		t.Fatal(err)
+	}
+	if ra != (simtime.Work{HDFSBytes: 50}) {
+		t.Fatalf("clean ReadAt ledger polluted: %+v", ra)
+	}
+	if s := fs.Stats(); s != (Stats{}) {
+		t.Fatalf("clean path touched fault stats: %+v", s)
+	}
+}
+
+func TestCorruptionDetectedAndRecovered(t *testing.T) {
+	p := &StorageFaultProfile{Seed: 7, CorruptRate: 0.6, RetryBackoff: -1}
+	fs, data := faultyFS(t, p)
+	var w simtime.Work
+	got, err := fs.Read("f", &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("corruption leaked into returned bytes")
+	}
+	if w.HDFSBytes != int64(len(data)) {
+		t.Fatalf("successful bytes charged %d, want %d", w.HDFSBytes, len(data))
+	}
+	st := fs.Stats()
+	if st.ChecksumFailures == 0 {
+		t.Fatal("0.6 corrupt rate over 7 blocks × 3 replicas produced no checksum failures")
+	}
+	if w.HDFSRereadBytes == 0 || w.StorageRetries == 0 {
+		t.Fatalf("failovers not charged: %+v", w)
+	}
+	if w.ChecksumBytes < w.HDFSBytes {
+		t.Fatalf("every received byte must be CRC-verified: %+v", w)
+	}
+	if w.StorageBackoffSecs != 0 {
+		t.Fatalf("negative RetryBackoff must mean no backoff, got %g", w.StorageBackoffSecs)
+	}
+}
+
+func TestReadsAreDeterministicUnderFaults(t *testing.T) {
+	// Same profile, same file, same read → identical ledger and bytes,
+	// however many times and in whatever order reads happen.
+	p := &StorageFaultProfile{Seed: 99, CorruptRate: 0.5, DatanodeCrashRate: 0.4}
+	fs, _ := faultyFS(t, p)
+	var w1, w2 simtime.Work
+	b1, err := fs.Read("f", &w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.ReadBlock("f", 2, nil) // interleave another read
+	b2, err := fs.Read("f", &w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("bytes differ across identical reads")
+	}
+	if w1 != w2 {
+		t.Fatalf("ledger differs across identical reads:\n%+v\n%+v", w1, w2)
+	}
+}
+
+func TestDatanodeCrashCostsProbesAndBackoff(t *testing.T) {
+	p := &StorageFaultProfile{Seed: 3, DatanodeCrashRate: 0.7}
+	fs, data := faultyFS(t, p)
+	live := fs.LiveDataNodes()
+	if live < 1 || live >= fs.NumDataNodes() {
+		t.Fatalf("crash rate 0.7 on 5 nodes left %d live", live)
+	}
+	var w simtime.Work
+	got, err := fs.Read("f", &w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("datanode crashes changed returned bytes")
+	}
+	st := fs.Stats()
+	if st.DeadNodeProbes == 0 {
+		t.Fatal("no dead-node probes despite crashed nodes")
+	}
+	if w.StorageBackoffSecs == 0 {
+		t.Fatal("dead-node probes must cost client backoff (default applies)")
+	}
+	wantBackoff := float64(w.StorageRetries) * DefaultStorageRetryBackoff
+	if w.StorageBackoffSecs != wantBackoff {
+		t.Fatalf("backoff %g, want retries × default = %g", w.StorageBackoffSecs, wantBackoff)
+	}
+}
+
+func TestLastDatanodeNeverCrashes(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		p := &StorageFaultProfile{Seed: seed, DatanodeCrashRate: 0.999999}
+		fs := NewCluster(16, 3, 4)
+		fs.SetFaultProfile(p)
+		if live := fs.LiveDataNodes(); live < 1 {
+			t.Fatalf("seed %d: cluster fully crashed", seed)
+		}
+	}
+}
+
+func TestAllReplicasDeadIsRecoveredViaReReplication(t *testing.T) {
+	// Hunt for a (seed, block) whose replicas all land on dead nodes;
+	// with rate 0.9 on 5 nodes and 3-replica blocks this is common.
+	found := false
+	for seed := uint64(0); seed < 100 && !found; seed++ {
+		p := &StorageFaultProfile{Seed: seed, DatanodeCrashRate: 0.9, RetryBackoff: -1}
+		fs, data := faultyFS(t, p)
+		var w simtime.Work
+		got, err := fs.Read("f", &w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("seed %d: recovery changed bytes", seed)
+		}
+		if fs.Stats().ReReplications > 0 {
+			found = true
+			if w.ReReplBytes == 0 {
+				t.Fatalf("seed %d: re-replication not charged: %+v", seed, w)
+			}
+			if w.HDFSBytes != int64(len(data)) {
+				t.Fatalf("seed %d: recovered read still charges the served bytes once: %+v", seed, w)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no fully-dead block found in 100 seeds; weaken the hunt or raise the rate")
+	}
+}
+
+func TestWriteChargesCappedAtLiveNodes(t *testing.T) {
+	fs := NewCluster(16, 3, 5)
+	// Kill most of the cluster, then write: the charge must reflect the
+	// replicas that can actually land.
+	fs.SetFaultProfile(&StorageFaultProfile{Seed: 3, DatanodeCrashRate: 0.7})
+	live := fs.LiveDataNodes()
+	if live >= 3 {
+		t.Skipf("seed left %d nodes live; cap not exercised", live)
+	}
+	var w simtime.Work
+	if err := fs.Write("g", make([]byte, 100), &w); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(100 * live); w.HDFSBytes != want {
+		t.Fatalf("degraded write charged %d, want %d (%d live nodes)", w.HDFSBytes, want, live)
+	}
+}
+
+func TestReplicationCappedAtClusterSize(t *testing.T) {
+	fs := NewCluster(16, 9, 2) // ask for 9 replicas on 2 nodes
+	var w simtime.Work
+	if err := fs.Write("f", make([]byte, 10), &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.HDFSBytes != 20 {
+		t.Fatalf("charged %d, want 20 (replication capped at 2 nodes)", w.HDFSBytes)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	fs := New(10, 1)
+	var w simtime.Work
+	if err := fs.Append("f", []byte("0123456"), &w); err != nil {
+		t.Fatal(err) // creates the file
+	}
+	if err := fs.Append("f", []byte("789abcde"), &w); err != nil {
+		t.Fatal(err) // fills block 0, spills into block 1
+	}
+	got, err := fs.Read("f", nil)
+	if err != nil || string(got) != "0123456789abcde" {
+		t.Fatalf("Append round trip: %q, %v", got, err)
+	}
+	if n, _ := fs.NumBlocks("f"); n != 2 {
+		t.Fatalf("NumBlocks = %d, want 2 (10+5)", n)
+	}
+	if w.HDFSBytes != 15 {
+		t.Fatalf("appends charged %d, want 15", w.HDFSBytes)
+	}
+	// Appending to the empty-file sentinel must not leave a ghost block.
+	fs.Write("e", nil, nil)
+	fs.Append("e", []byte("xy"), nil)
+	if got, _ := fs.Read("e", nil); string(got) != "xy" {
+		t.Fatalf("append to empty file: %q", got)
+	}
+	if n, _ := fs.NumBlocks("e"); n != 1 {
+		t.Fatalf("empty-then-append NumBlocks = %d, want 1", n)
+	}
+	if err := fs.Append("", []byte("x"), nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	// Appended bytes survive CRC verification under a corrupting profile.
+	fs.SetFaultProfile(&StorageFaultProfile{Seed: 5, CorruptRate: 0.5, RetryBackoff: -1})
+	if got, err := fs.Read("f", nil); err != nil || string(got) != "0123456789abcde" {
+		t.Fatalf("faulty read after append: %q, %v", got, err)
+	}
+}
+
+func TestReadAtEdges(t *testing.T) {
+	// The documented edge semantics: ranges truncate at EOF, a span at
+	// or past EOF returns empty with nil error, and the empty file's
+	// single empty block reads as zero bytes everywhere.
+	fs := New(10, 1)
+	data := []byte("0123456789abcdefghijKLMNO") // 25 bytes, blocks 10+10+5
+	fs.Write("f", data, nil)
+	fs.Write("empty", nil, nil)
+	cases := []struct {
+		name string
+		file string
+		off  int64
+		n    int64
+		want string
+	}{
+		{"cross one boundary", "f", 5, 10, "56789abcde"},
+		{"cross two boundaries", "f", 8, 14, "89abcdefghijKL"},
+		{"whole file", "f", 0, 25, string(data)},
+		{"request past EOF truncates", "f", 20, 100, "KLMNO"},
+		{"start at EOF", "f", 25, 5, ""},
+		{"start past EOF", "f", 30, 5, ""},
+		{"zero length", "f", 3, 0, ""},
+		{"empty file from zero", "empty", 0, 10, ""},
+		{"empty file past EOF", "empty", 4, 2, ""},
+	}
+	for _, c := range cases {
+		var w simtime.Work
+		got, err := fs.ReadAt(c.file, c.off, c.n, &w)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if string(got) != c.want {
+			t.Fatalf("%s: got %q, want %q", c.name, got, c.want)
+		}
+		if w.HDFSBytes != int64(len(got)) {
+			t.Fatalf("%s: charged %d for %d bytes", c.name, w.HDFSBytes, len(got))
+		}
+	}
+}
+
+func TestReadAtUnderFaultsMatchesClean(t *testing.T) {
+	p := &StorageFaultProfile{Seed: 21, CorruptRate: 0.5, DatanodeCrashRate: 0.3}
+	fs, data := faultyFS(t, p)
+	for _, span := range [][2]int64{{0, 100}, {3, 40}, {15, 2}, {90, 50}, {99, 1}} {
+		got, err := fs.ReadAt("f", span[0], span[1], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end := span[0] + span[1]
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		want := data[span[0]:end]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("ReadAt(%d,%d) under faults = %q, want %q", span[0], span[1], got, want)
+		}
+	}
+}
+
+func TestRepairWork(t *testing.T) {
+	fs := NewCluster(16, 3, 5)
+	fs.Write("f", make([]byte, 100), nil)
+	if w := fs.RepairWork(); !w.IsZero() {
+		t.Fatalf("RepairWork without profile: %+v", w)
+	}
+	fs.SetFaultProfile(&StorageFaultProfile{Seed: 3, DatanodeCrashRate: 0.7})
+	w1 := fs.RepairWork()
+	if w1.ReReplBytes == 0 {
+		t.Fatal("dead nodes but no repair bytes")
+	}
+	if w2 := fs.RepairWork(); w1 != w2 {
+		t.Fatalf("RepairWork not deterministic: %+v vs %+v", w1, w2)
+	}
+}

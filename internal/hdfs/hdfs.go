@@ -1,9 +1,23 @@
 // Package hdfs simulates the distributed filesystem the paper reads its
 // input from. Only the properties the experiments depend on are
 // modelled: files are split into fixed-size blocks (which become input
-// splits for MapReduce and partitions for Spark's textFile), reads are
-// charged per byte into a work ledger (the Δ term of the paper's cost
-// model), and writes can be replicated (MapReduce output).
+// splits for MapReduce and partitions for Spark's textFile), every
+// block has replicas placed deterministically on a set of simulated
+// datanodes, reads are CRC-verified and charged per byte into a work
+// ledger (the Δ term of the paper's cost model), and writes are charged
+// once per live replica.
+//
+// With no StorageFaultProfile attached the read path charges HDFSBytes
+// only and a write charges len(data) × replication — byte-identical to
+// the pre-fault-layer filesystem, so all recorded experiment numbers
+// stand. With a profile attached, reads walk a block's replicas in
+// placement order: replicas on crashed datanodes cost a probe plus
+// client backoff, replicas whose bytes fail CRC verification cost a
+// full re-read plus failover, and a block whose every replica sits on a
+// dead node is served only after being re-replicated onto a live node
+// (priced as ReReplBytes). Faults move time, never data: the profile
+// never corrupts a block's last healthy replica and never crashes the
+// last datanode, so every read eventually returns the authentic bytes.
 //
 // Storage is in-memory; durability is out of scope. The filesystem is
 // safe for concurrent use.
@@ -11,50 +25,171 @@ package hdfs
 
 import (
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"sparkdbscan/internal/rng"
 	"sparkdbscan/internal/simtime"
 )
 
 // DefaultBlockSize matches HDFS's classic 64 MiB default.
 const DefaultBlockSize = 64 << 20
 
-// FileSystem is an in-memory block store.
+// Stats counts storage-fault events since the filesystem was created.
+// All fields are zero until a StorageFaultProfile is attached.
+type Stats struct {
+	ChecksumFailures int64 // replica reads whose bytes failed CRC verification
+	DeadNodeProbes   int64 // replica reads that hit a crashed datanode
+	Failovers        int64 // reads that had to move on to another replica
+	ReReplications   int64 // blocks re-replicated because every replica was dead
+}
+
+// FileSystem is an in-memory block store with simulated datanodes.
 type FileSystem struct {
 	mu          sync.RWMutex
 	blockSize   int
 	replication int
+	numNodes    int
 	files       map[string][][]byte
+	sums        map[string][]uint32 // per-block CRC32 (IEEE), parallel to files
+	profile     *StorageFaultProfile
+
+	checksumFailures atomic.Int64
+	deadNodeProbes   atomic.Int64
+	failovers        atomic.Int64
+	reReplications   atomic.Int64
 }
 
 // New returns a filesystem with the given block size and replication
-// factor. Replication multiplies write cost only (reads hit one
-// replica).
+// factor, on a cluster of max(3, replication) datanodes (HDFS's
+// smallest sensible cluster; large enough that the live-node write cap
+// never binds without a fault profile).
 func New(blockSize, replication int) *FileSystem {
+	if replication < 1 {
+		replication = 1
+	}
+	n := replication
+	if n < 3 {
+		n = 3
+	}
+	return NewCluster(blockSize, replication, n)
+}
+
+// NewCluster returns a filesystem with an explicit datanode count.
+// Replication is capped at numNodes (a replica per distinct node, as in
+// HDFS).
+func NewCluster(blockSize, replication, numNodes int) *FileSystem {
 	if blockSize <= 0 {
 		blockSize = DefaultBlockSize
 	}
 	if replication < 1 {
 		replication = 1
 	}
+	if numNodes < 1 {
+		numNodes = 1
+	}
+	if replication > numNodes {
+		replication = numNodes
+	}
 	return &FileSystem{
 		blockSize:   blockSize,
 		replication: replication,
+		numNodes:    numNodes,
 		files:       make(map[string][][]byte),
+		sums:        make(map[string][]uint32),
 	}
 }
 
 // BlockSize returns the filesystem's block size in bytes.
 func (fs *FileSystem) BlockSize() int { return fs.blockSize }
 
-// Write stores data under name, splitting it into blocks and replacing
-// any existing file. The write cost (replication included) is charged
-// to w if non-nil.
-func (fs *FileSystem) Write(name string, data []byte, w *simtime.Work) error {
-	if name == "" {
-		return fmt.Errorf("hdfs: empty file name")
+// NumDataNodes returns the simulated cluster size.
+func (fs *FileSystem) NumDataNodes() int { return fs.numNodes }
+
+// SetFaultProfile attaches (or, with nil, detaches) the storage fault
+// schedule. Safe to call between jobs; not meant to change mid-read.
+func (fs *FileSystem) SetFaultProfile(p *StorageFaultProfile) {
+	fs.mu.Lock()
+	fs.profile = p
+	fs.mu.Unlock()
+}
+
+// LiveDataNodes returns how many datanodes the current fault profile
+// leaves running (all of them when no profile is attached). At least
+// one node always survives.
+func (fs *FileSystem) LiveDataNodes() int {
+	fs.mu.RLock()
+	p := fs.profile
+	fs.mu.RUnlock()
+	if p == nil {
+		return fs.numNodes
 	}
+	live := 0
+	for n := 0; n < fs.numNodes; n++ {
+		if !p.nodeDown(n, fs.numNodes) {
+			live++
+		}
+	}
+	return live
+}
+
+// Stats returns a snapshot of the fault counters.
+func (fs *FileSystem) Stats() Stats {
+	return Stats{
+		ChecksumFailures: fs.checksumFailures.Load(),
+		DeadNodeProbes:   fs.deadNodeProbes.Load(),
+		Failovers:        fs.failovers.Load(),
+		ReReplications:   fs.reReplications.Load(),
+	}
+}
+
+// placement returns the datanodes hosting block i of the file with the
+// given name hash: min(replication, numNodes) consecutive nodes
+// starting at a position derived purely from (name, block), so the
+// layout is identical on every run.
+func (fs *FileSystem) placement(fh uint64, block int) []int {
+	k := fs.replication
+	if k > fs.numNodes {
+		k = fs.numNodes
+	}
+	start := int(rng.Hash64(fh^uint64(block)*0x9e3779b97f4a7c15) % uint64(fs.numNodes))
+	nodes := make([]int, k)
+	for i := range nodes {
+		nodes[i] = (start + i) % fs.numNodes
+	}
+	return nodes
+}
+
+// effectiveReplication is how many replicas a write actually lands:
+// the configured factor, capped at the number of live datanodes (a
+// degraded cluster cannot hold more copies than it has nodes), never
+// below one.
+func (fs *FileSystem) effectiveReplication() int {
+	k := fs.replication
+	if p := fs.profile; p != nil {
+		live := 0
+		for n := 0; n < fs.numNodes; n++ {
+			if !p.nodeDown(n, fs.numNodes) {
+				live++
+			}
+		}
+		if k > live {
+			k = live
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// split cuts data into blockSize pieces (copying), with the Hadoop
+// convention that an empty file still occupies one empty block — it
+// yields exactly one (empty) input split, so a MapReduce job over an
+// empty input runs one map task rather than zero.
+func (fs *FileSystem) split(data []byte) [][]byte {
 	var blocks [][]byte
 	for off := 0; off < len(data); off += fs.blockSize {
 		end := off + fs.blockSize
@@ -68,39 +203,203 @@ func (fs *FileSystem) Write(name string, data []byte, w *simtime.Work) error {
 	if len(blocks) == 0 {
 		blocks = [][]byte{{}}
 	}
+	return blocks
+}
+
+func checksums(blocks [][]byte) []uint32 {
+	sums := make([]uint32, len(blocks))
+	for i, b := range blocks {
+		sums[i] = crc32.ChecksumIEEE(b)
+	}
+	return sums
+}
+
+// Write stores data under name, splitting it into blocks and replacing
+// any existing file. The write cost — one copy per replica, capped at
+// the number of live datanodes — is charged to w if non-nil.
+func (fs *FileSystem) Write(name string, data []byte, w *simtime.Work) error {
+	if name == "" {
+		return fmt.Errorf("hdfs: empty file name")
+	}
+	blocks := fs.split(data)
 	fs.mu.Lock()
 	fs.files[name] = blocks
+	fs.sums[name] = checksums(blocks)
+	repl := fs.effectiveReplication()
 	fs.mu.Unlock()
 	if w != nil {
-		w.HDFSBytes += int64(len(data)) * int64(fs.replication)
+		w.HDFSBytes += int64(len(data)) * int64(repl)
 	}
 	return nil
 }
 
-// Read returns the full contents of name, charging the read to w.
-func (fs *FileSystem) Read(name string, w *simtime.Work) ([]byte, error) {
+// Append extends name with data, filling the last block before opening
+// new ones, and creates the file if it does not exist. Appended bytes
+// are charged like a write (once per live replica). The driver journal
+// uses it to log partial clusters incrementally.
+func (fs *FileSystem) Append(name string, data []byte, w *simtime.Work) error {
+	if name == "" {
+		return fmt.Errorf("hdfs: empty file name")
+	}
+	fs.mu.Lock()
+	blocks, ok := fs.files[name]
+	if !ok || (len(blocks) == 1 && len(blocks[0]) == 0) {
+		// Missing, or the empty-file sentinel block: plain write.
+		blocks = nil
+	}
+	rest := data
+	if n := len(blocks); n > 0 && len(blocks[n-1]) < fs.blockSize {
+		last := blocks[n-1]
+		room := fs.blockSize - len(last)
+		if room > len(rest) {
+			room = len(rest)
+		}
+		grown := make([]byte, len(last)+room)
+		copy(grown, last)
+		copy(grown[len(last):], rest[:room])
+		blocks[n-1] = grown
+		rest = rest[room:]
+	}
+	blocks = append(blocks, fs.split(rest)...)
+	// split() emits an empty sentinel block for empty input; keep it
+	// only when the whole file is empty.
+	if n := len(blocks); n > 1 && len(blocks[n-1]) == 0 {
+		blocks = blocks[:n-1]
+	}
+	fs.files[name] = blocks
+	fs.sums[name] = checksums(blocks)
+	repl := fs.effectiveReplication()
+	fs.mu.Unlock()
+	if w != nil {
+		w.HDFSBytes += int64(len(data)) * int64(repl)
+	}
+	return nil
+}
+
+// readPortion simulates fetching the given authentic bytes of block
+// blockIdx from one of its replicas and charges the attempt trail to w.
+// The walk is a pure function of (profile seed, name, block), so every
+// retried task attempt pays the same cost — nothing here depends on
+// host scheduling.
+func (fs *FileSystem) readPortion(fh uint64, blockIdx int, authentic []byte, sum uint32, p *StorageFaultProfile, w *simtime.Work) {
+	n := int64(len(authentic))
+	if w == nil {
+		var scratch simtime.Work
+		w = &scratch
+	}
+	if p == nil {
+		// Clean path: exactly the pre-fault-layer charge.
+		w.HDFSBytes += n
+		return
+	}
+	reps := fs.placement(fh, blockIdx)
+	backoff := p.effectiveBackoff()
+	savior := fs.saviorReplica(fh, blockIdx, reps, p)
+	tried := 0
+	for ri, node := range reps {
+		if p.nodeDown(node, fs.numNodes) {
+			w.StorageRetries++
+			w.StorageBackoffSecs += backoff
+			fs.deadNodeProbes.Add(1)
+			tried++
+			continue
+		}
+		got := authentic
+		if n > 0 && ri != savior && p.rawCorrupt(fh, blockIdx, ri) {
+			// The replica's bytes arrive silently flipped; the client
+			// CRC-verifies every packet it receives, so build the
+			// corrupted view and actually run the check.
+			view := make([]byte, n)
+			copy(view, authentic)
+			view[int(rng.Hash64(fh^uint64(blockIdx))%uint64(n))] ^= 0xff
+			got = view
+		}
+		if crc32.ChecksumIEEE(got) == sum {
+			w.HDFSBytes += n
+			w.ChecksumBytes += n
+			if tried > 0 {
+				fs.failovers.Add(1)
+			}
+			return
+		}
+		// Verification failed: the bytes crossed the wire before the
+		// checksum caught them, so the read is paid for, then retried
+		// against the next replica after a client backoff.
+		w.HDFSRereadBytes += n
+		w.ChecksumBytes += n
+		w.StorageRetries++
+		w.StorageBackoffSecs += backoff
+		fs.checksumFailures.Add(1)
+		tried++
+	}
+	// Every replica sits on a crashed datanode. The namenode
+	// re-replicates the block onto a live node and the read is served
+	// from the fresh copy: the window where a real cluster would report
+	// a missing block is charged as recovery time instead.
+	w.ReReplBytes += n
+	w.HDFSBytes += n
+	w.ChecksumBytes += n
+	fs.reReplications.Add(1)
+	fs.failovers.Add(1)
+}
+
+// saviorReplica returns the index (into reps) of the replica protected
+// from corruption, or -1 when no protection is needed. Among the
+// replicas on live datanodes, if every one independently drew
+// "corrupt", the one with the largest draw is deterministically treated
+// as healthy — a block never loses its last good copy.
+func (fs *FileSystem) saviorReplica(fh uint64, blockIdx int, reps []int, p *StorageFaultProfile) int {
+	best, bestDraw := -1, -1.0
+	for ri, node := range reps {
+		if p.nodeDown(node, fs.numNodes) {
+			continue
+		}
+		if !p.rawCorrupt(fh, blockIdx, ri) {
+			return -1 // a live replica is naturally healthy
+		}
+		if d := p.draw(drawCorruptBlock, fh, blockIdx, ri); d > bestDraw {
+			best, bestDraw = ri, d
+		}
+	}
+	return best
+}
+
+// snapshot grabs the per-read state in one critical section.
+func (fs *FileSystem) snapshot(name string) ([][]byte, []uint32, *StorageFaultProfile, error) {
 	fs.mu.RLock()
 	blocks, ok := fs.files[name]
+	sums := fs.sums[name]
+	p := fs.profile
 	fs.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("hdfs: no such file %q", name)
+		return nil, nil, nil, fmt.Errorf("hdfs: no such file %q", name)
 	}
+	return blocks, sums, p, nil
+}
+
+// Read returns the full contents of name, charging the read (including
+// any replica failover under the active fault profile) to w.
+func (fs *FileSystem) Read(name string, w *simtime.Work) ([]byte, error) {
+	blocks, sums, p, err := fs.snapshot(name)
+	if err != nil {
+		return nil, err
+	}
+	fh := fileHash(name)
 	var total int
 	for _, b := range blocks {
 		total += len(b)
 	}
 	out := make([]byte, 0, total)
-	for _, b := range blocks {
+	for i, b := range blocks {
+		fs.readPortion(fh, i, b, sums[i], p, w)
 		out = append(out, b...)
-	}
-	if w != nil {
-		w.HDFSBytes += int64(total)
 	}
 	return out, nil
 }
 
 // NumBlocks returns how many blocks name occupies, or an error if it
-// does not exist. MapReduce uses one map task per block.
+// does not exist. MapReduce uses one map task per block; note that an
+// empty file occupies one empty block (see Write).
 func (fs *FileSystem) NumBlocks(name string) (int, error) {
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
@@ -113,41 +412,39 @@ func (fs *FileSystem) NumBlocks(name string) (int, error) {
 
 // ReadBlock returns block i of name, charging the read to w.
 func (fs *FileSystem) ReadBlock(name string, i int, w *simtime.Work) ([]byte, error) {
-	fs.mu.RLock()
-	blocks, ok := fs.files[name]
-	fs.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("hdfs: no such file %q", name)
+	blocks, sums, p, err := fs.snapshot(name)
+	if err != nil {
+		return nil, err
 	}
 	if i < 0 || i >= len(blocks) {
 		return nil, fmt.Errorf("hdfs: %q has %d blocks, asked for %d", name, len(blocks), i)
 	}
-	if w != nil {
-		w.HDFSBytes += int64(len(blocks[i]))
-	}
+	fs.readPortion(fileHash(name), i, blocks[i], sums[i], p, w)
 	out := make([]byte, len(blocks[i]))
 	copy(out, blocks[i])
 	return out, nil
 }
 
 // ReadAt returns up to length bytes of name starting at byte off,
-// reading across block boundaries (fewer bytes are returned at end of
-// file). The bytes actually read are charged to w. Record-aware
-// readers (spark.TextFileLines) use it to finish a record that spans
-// into the next block.
+// reading across block boundaries. The range is truncated at end of
+// file, so a span that starts at or past EOF returns empty with a nil
+// error — the POSIX-read convention, which lets record-aware readers
+// (spark.TextFileLines) probe past their split's end without
+// special-casing the last split. Only the bytes actually read are
+// charged to w, per block touched, through the same replica path as
+// full-block reads.
 func (fs *FileSystem) ReadAt(name string, off, length int64, w *simtime.Work) ([]byte, error) {
-	fs.mu.RLock()
-	blocks, ok := fs.files[name]
-	fs.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("hdfs: no such file %q", name)
+	blocks, sums, p, err := fs.snapshot(name)
+	if err != nil {
+		return nil, err
 	}
 	if off < 0 || length < 0 {
 		return nil, fmt.Errorf("hdfs: negative range (%d, %d)", off, length)
 	}
+	fh := fileHash(name)
 	var out []byte
 	pos := int64(0)
-	for _, b := range blocks {
+	for i, b := range blocks {
 		blockEnd := pos + int64(len(b))
 		if blockEnd > off && pos < off+length {
 			lo := int64(0)
@@ -158,17 +455,49 @@ func (fs *FileSystem) ReadAt(name string, off, length int64, w *simtime.Work) ([
 			if pos+hi > off+length {
 				hi = off + length - pos
 			}
-			out = append(out, b[lo:hi]...)
+			portion := b[lo:hi]
+			sum := sums[i]
+			if int(hi-lo) != len(b) {
+				// Partial block: the client verifies the chunk it
+				// received, not the whole block.
+				sum = crc32.ChecksumIEEE(portion)
+			}
+			fs.readPortion(fh, i, portion, sum, p, w)
+			out = append(out, portion...)
 		}
 		pos = blockEnd
 		if pos >= off+length {
 			break
 		}
 	}
-	if w != nil {
-		w.HDFSBytes += int64(len(out))
-	}
 	return out, nil
+}
+
+// RepairWork returns the deterministic cost of restoring full
+// replication after the profile's datanode crashes: every replica
+// assigned to a dead node is re-copied from a surviving one. The
+// driver charges it once per job (it is namenode background work, not
+// per-read work — per-read charging would make task cost depend on
+// which attempt ran first). Zero without a profile.
+func (fs *FileSystem) RepairWork() simtime.Work {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var w simtime.Work
+	p := fs.profile
+	if p == nil {
+		return w
+	}
+	for name, blocks := range fs.files {
+		fh := fileHash(name)
+		for i, b := range blocks {
+			for _, node := range fs.placement(fh, i) {
+				if p.nodeDown(node, fs.numNodes) {
+					w.ReReplBytes += int64(len(b))
+				}
+			}
+		}
+	}
+	return w
 }
 
 // Size returns the byte size of name.
@@ -190,6 +519,7 @@ func (fs *FileSystem) Size(name string) (int64, error) {
 func (fs *FileSystem) Delete(name string) {
 	fs.mu.Lock()
 	delete(fs.files, name)
+	delete(fs.sums, name)
 	fs.mu.Unlock()
 }
 

@@ -35,6 +35,19 @@ type Work struct {
 	NetBytes       int64 // simulated cross-node transfer (shuffle/remote read)
 	HDFSBytes      int64 // simulated distributed-filesystem reads
 	TaskLaunches   int64 // scheduler task-launch events
+
+	// Storage failure-domain lines (zero unless an hdfs
+	// StorageFaultProfile is in play — the clean read path charges
+	// HDFSBytes only, so pre-fault ledgers are unchanged).
+	ChecksumBytes   int64 // bytes CRC-verified on replica reads
+	HDFSRereadBytes int64 // bytes read from a replica that failed verification
+	ReReplBytes     int64 // bytes copied restoring replication after datanode loss
+	StorageRetries  int64 // replica failover events (dead-node probes, corrupt re-reads)
+	// StorageBackoffSecs is client backoff before failover retries,
+	// accumulated directly in seconds (StorageRetries times the
+	// profile's effective RetryBackoff); Seconds() adds it at unit
+	// price.
+	StorageBackoffSecs float64
 }
 
 // Add accumulates o into w.
@@ -54,6 +67,11 @@ func (w *Work) Add(o Work) {
 	w.NetBytes += o.NetBytes
 	w.HDFSBytes += o.HDFSBytes
 	w.TaskLaunches += o.TaskLaunches
+	w.ChecksumBytes += o.ChecksumBytes
+	w.HDFSRereadBytes += o.HDFSRereadBytes
+	w.ReReplBytes += o.ReReplBytes
+	w.StorageRetries += o.StorageRetries
+	w.StorageBackoffSecs += o.StorageBackoffSecs
 }
 
 // IsZero reports whether no work has been recorded.
@@ -78,6 +96,10 @@ type CostModel struct {
 	NetByte       float64
 	HDFSByte      float64
 	TaskLaunch    float64
+	ChecksumByte  float64 // per byte CRC-verified on read
+	HDFSReread    float64 // per byte of a failed-replica re-read
+	ReReplByte    float64 // per byte re-replicated after datanode loss
+	StorageRetry  float64 // per replica-failover event (probe + reconnect)
 }
 
 // DefaultModel returns the calibrated cost model. Rationale for the
@@ -101,6 +123,13 @@ type CostModel struct {
 //     two mechanisms (with straggler tails) behind the paper's
 //     efficiency decay at 512 cores.
 //   - TaskLaunch 15 ms: Spark's documented task scheduling overhead.
+//   - Checksum verification at ~500 MB/s: CRC32 over the read payload
+//     through a 2013 JVM (HDFS verifies every client read).
+//   - Failed-replica re-reads price like ordinary HDFS reads (the bytes
+//     crossed the wire before the checksum caught them); re-replication
+//     pays a read plus a network hop plus a remote write (~33 MB/s
+//     effective). A replica-failover event costs 5 ms of probe and
+//     reconnect latency on top of the profile's client backoff.
 func DefaultModel() *CostModel {
 	return &CostModel{
 		KDNode:        2e-6,
@@ -119,6 +148,10 @@ func DefaultModel() *CostModel {
 		NetByte:       1e-8,
 		HDFSByte:      1e-8,
 		TaskLaunch:    15e-3,
+		ChecksumByte:  2e-9,
+		HDFSReread:    1e-8,
+		ReReplByte:    3e-8,
+		StorageRetry:  5e-3,
 	}
 }
 
@@ -138,5 +171,26 @@ func (m *CostModel) Seconds(w Work) float64 {
 		float64(w.DiskReadBytes)*m.DiskReadByte +
 		float64(w.NetBytes)*m.NetByte +
 		float64(w.HDFSBytes)*m.HDFSByte +
-		float64(w.TaskLaunches)*m.TaskLaunch
+		float64(w.TaskLaunches)*m.TaskLaunch +
+		float64(w.ChecksumBytes)*m.ChecksumByte +
+		float64(w.HDFSRereadBytes)*m.HDFSReread +
+		float64(w.ReReplBytes)*m.ReReplByte +
+		float64(w.StorageRetries)*m.StorageRetry +
+		w.StorageBackoffSecs
+}
+
+// DefaultedBackoff normalizes a user-supplied retry backoff with the
+// convention shared by the compute layer (spark.FaultProfile) and the
+// storage layer (hdfs.StorageFaultProfile): zero (the field was left
+// unset) selects def, negative means "no backoff", positive is used
+// as-is. Extracted here so the two layers cannot drift.
+func DefaultedBackoff(v, def float64) float64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
 }

@@ -10,14 +10,16 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 	a := Work{KDNodes: 1, DistComps: 2, QueueOps: 3, HashOps: 4, Elems: 5,
 		TreeBuildOps: 6, MergeOps: 7, SortComps: 8, SerBytes: 9,
 		DiskWriteBytes: 10, DiskReadBytes: 11, NetBytes: 12, HDFSBytes: 13, TaskLaunches: 14,
-		KDIncluded: 15}
+		KDIncluded: 15, ChecksumBytes: 16, HDFSRereadBytes: 17, ReReplBytes: 18,
+		StorageRetries: 19, StorageBackoffSecs: 0.5}
 	var w Work
 	w.Add(a)
 	w.Add(a)
 	if w != (Work{KDNodes: 2, DistComps: 4, QueueOps: 6, HashOps: 8, Elems: 10,
 		TreeBuildOps: 12, MergeOps: 14, SortComps: 16, SerBytes: 18,
 		DiskWriteBytes: 20, DiskReadBytes: 22, NetBytes: 24, HDFSBytes: 26, TaskLaunches: 28,
-		KDIncluded: 30}) {
+		KDIncluded: 30, ChecksumBytes: 32, HDFSRereadBytes: 34, ReReplBytes: 36,
+		StorageRetries: 38, StorageBackoffSecs: 1}) {
 		t.Fatalf("Add missed a field: %+v", w)
 	}
 }
@@ -68,6 +70,8 @@ func TestDefaultModelAnchors(t *testing.T) {
 		"MergeOp": m.MergeOp, "SortComp": m.SortComp, "SerByte": m.SerByte,
 		"DiskWriteByte": m.DiskWriteByte, "DiskReadByte": m.DiskReadByte,
 		"NetByte": m.NetByte, "HDFSByte": m.HDFSByte, "TaskLaunch": m.TaskLaunch,
+		"ChecksumByte": m.ChecksumByte, "HDFSReread": m.HDFSReread,
+		"ReReplByte": m.ReReplByte, "StorageRetry": m.StorageRetry,
 	} {
 		if v <= 0 {
 			t.Fatalf("%s = %g, must be positive", name, v)
@@ -87,5 +91,34 @@ func TestDefaultModelAnchors(t *testing.T) {
 func TestZeroWorkZeroSeconds(t *testing.T) {
 	if s := DefaultModel().Seconds(Work{}); s != 0 {
 		t.Fatalf("zero work costs %g", s)
+	}
+}
+
+func TestStorageBackoffSecsPricedAtUnit(t *testing.T) {
+	// StorageBackoffSecs is already seconds; the model must pass it
+	// through unscaled.
+	if s := DefaultModel().Seconds(Work{StorageBackoffSecs: 2.5}); s != 2.5 {
+		t.Fatalf("StorageBackoffSecs priced at %g, want 2.5", s)
+	}
+}
+
+func TestDefaultedBackoffTable(t *testing.T) {
+	// The convention both fault layers share: zero means "use the
+	// default", negative means "no backoff", positive passes through.
+	cases := []struct {
+		v, def, want float64
+	}{
+		{0, 0.1, 0.1},
+		{0, 0.05, 0.05},
+		{-1, 0.1, 0},
+		{-0.001, 0.05, 0},
+		{0.3, 0.1, 0.3},
+		{0.05, 0.1, 0.05},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := DefaultedBackoff(c.v, c.def); got != c.want {
+			t.Errorf("DefaultedBackoff(%g, %g) = %g, want %g", c.v, c.def, got, c.want)
+		}
 	}
 }

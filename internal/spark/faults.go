@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sparkdbscan/internal/rng"
+	"sparkdbscan/internal/simtime"
 )
 
 // FaultProfile injects deterministic faults into Virtual-mode stages:
@@ -33,8 +34,10 @@ type FaultProfile struct {
 	// killing every attempt on its cores.
 	ExecutorCrashRate float64
 	// RetryBackoff is the scheduler delay before a failed attempt's
-	// retry launches. Default 0.1s (Spark's locality-wait-scale
-	// resubmission latency); negative means zero.
+	// retry launches. Zero means the 0.1 s default (Spark's
+	// locality-wait-scale resubmission latency); negative means no
+	// backoff. The same convention — simtime.DefaultedBackoff — governs
+	// hdfs.StorageFaultProfile.RetryBackoff.
 	RetryBackoff float64
 	// CrashPointFrac is how far through its duration the crash-
 	// triggering attempt gets, in (0, 1). Default 0.5.
@@ -52,11 +55,7 @@ func (p *FaultProfile) withDefaults() *FaultProfile {
 	if q.SlowFactor <= 1 {
 		q.SlowFactor = 4
 	}
-	if q.RetryBackoff == 0 {
-		q.RetryBackoff = 0.1
-	} else if q.RetryBackoff < 0 {
-		q.RetryBackoff = 0
-	}
+	q.RetryBackoff = simtime.DefaultedBackoff(q.RetryBackoff, 0.1)
 	if q.CrashPointFrac <= 0 || q.CrashPointFrac >= 1 {
 		q.CrashPointFrac = 0.5
 	}

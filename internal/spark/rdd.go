@@ -40,9 +40,10 @@ type RDD[T any] struct {
 	sizeFn  atomic.Pointer[func(T) int64]
 	started atomic.Bool // a partition has materialized
 
-	cacheMu sync.Mutex
-	cached  bool
-	cache   [][]T
+	cacheMu      sync.Mutex
+	cached       bool
+	cache        [][]T
+	checkpointed bool
 }
 
 // defaultElemSize is the serialized-size guess for elements without a

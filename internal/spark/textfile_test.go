@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"sparkdbscan/internal/hdfs"
+	"sparkdbscan/internal/simtime"
 )
 
 func linesFixture(n int) (string, []string) {
@@ -124,5 +125,45 @@ func TestTextFileLinesMissingFile(t *testing.T) {
 	ctx := NewContext(Config{Cores: 1})
 	if _, err := TextFileLines(ctx, hdfs.New(8, 1), "missing"); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestTextFileLinesUnderStorageFaults(t *testing.T) {
+	// Input ingestion routes through the replica-aware read path: with
+	// an aggressive storage-fault profile the tasks pay failover cost
+	// but recover every line exactly once, byte-identical to clean.
+	content, want := linesFixture(200)
+	fs := hdfs.New(64, 3)
+	if err := fs.Write("f.txt", []byte(content), nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultProfile(&hdfs.StorageFaultProfile{Seed: 17, CorruptRate: 0.5, DatanodeCrashRate: 0.3})
+	ctx := NewContext(Config{Cores: 2})
+	rdd, err := TextFileLines(ctx, fs, "f.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rdd.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d lines, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d corrupted: %q vs %q", i, got[i], want[i])
+		}
+	}
+	if st := fs.Stats(); st.ChecksumFailures == 0 && st.DeadNodeProbes == 0 {
+		t.Fatal("profile produced no storage-fault events")
+	}
+	rep := ctx.Report()
+	var w simtime.Work
+	for _, s := range rep.Stages {
+		w.Add(s.Work)
+	}
+	if w.StorageRetries == 0 || w.ChecksumBytes == 0 {
+		t.Fatalf("failover cost not metered into task work: %+v", w)
 	}
 }
