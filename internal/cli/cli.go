@@ -21,6 +21,7 @@ import (
 	"sparkdbscan/internal/kdtree"
 	"sparkdbscan/internal/quest"
 	"sparkdbscan/internal/spark"
+	"sparkdbscan/internal/trace"
 
 	coredbscan "sparkdbscan/internal/core"
 )
@@ -90,12 +91,23 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		prune   = fs.Int("prune", 0, "cap neighbour lists at this size (0 = exact search)")
 		real    = fs.Bool("realtime", false, "wall-clock timing instead of the virtual cluster")
 		spatial = fs.Bool("spatial", false, "Z-order (neighbourhood-aware) partitioning")
+
+		traceOut   = fs.String("trace", "", "write a Chrome/Perfetto trace of the simulated run to this JSON file")
+		metricsOut = fs.String("metrics", "", "write the metrics snapshot (incl. critical path) to this JSON file")
+		gantt      = fs.Bool("gantt", false, "print a per-core ASCII Gantt chart of every executor stage")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("dbscan: -in is required")
+	}
+	observing := *traceOut != "" || *metricsOut != "" || *gantt
+	if observing && *cores <= 0 {
+		return fmt.Errorf("dbscan: -trace/-metrics/-gantt need a distributed run (-cores > 0)")
+	}
+	if observing && *real {
+		return fmt.Errorf("dbscan: -trace/-metrics/-gantt record the simulated clock; drop -realtime")
 	}
 	ds, err := loadDataset(*in)
 	if err != nil {
@@ -117,7 +129,11 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		if *real {
 			mode = spark.Real
 		}
-		sctx := spark.NewContext(spark.Config{Cores: *cores, Mode: mode})
+		var rec *trace.Recorder
+		if observing {
+			rec = trace.NewRecorder()
+		}
+		sctx := spark.NewContext(spark.Config{Cores: *cores, Mode: mode, Tracer: rec})
 		seedMode := coredbscan.SeedAll
 		mergeAlgo := coredbscan.MergeUnionFind
 		if *paper {
@@ -139,6 +155,25 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		numClusters, numNoise = res.Global.NumClusters, res.Global.NumNoise
 		partials = res.Global.NumPartialClusters
 		timing = res.Phases
+
+		if *gantt {
+			for _, s := range rec.Stages() {
+				fmt.Fprintf(stdout, "stage %d %q (makespan %.4fs):\n", s.ID, s.Name, s.Makespan())
+				fmt.Fprint(stdout, s.Sched.Gantt(72))
+			}
+		}
+		if *traceOut != "" {
+			if err := writeExport(*traceOut, rec.WriteChrome); err != nil {
+				return fmt.Errorf("dbscan: writing trace: %w", err)
+			}
+			fmt.Fprintf(stdout, "trace written to %s (load in https://ui.perfetto.dev)\n", *traceOut)
+		}
+		if *metricsOut != "" {
+			if err := writeExport(*metricsOut, rec.WriteMetrics); err != nil {
+				return fmt.Errorf("dbscan: writing metrics: %w", err)
+			}
+			fmt.Fprintf(stdout, "metrics written to %s\n", *metricsOut)
+		}
 	}
 
 	fmt.Fprintf(stdout, "points:   %d (dim %d)\n", ds.Len(), ds.Dim)
@@ -179,9 +214,16 @@ func RunBench(args []string, stdout io.Writer) error {
 		storagebench  = fs.String("storagebench", "", "run the storage-fault benchmark, write JSON to this path (e.g. BENCH_storage.json), and exit")
 		storageseeds  = fs.String("storageseeds", "11,23,47", "comma-separated storage-profile seeds for -storagebench")
 		storagepoints = fs.Int("storagepoints", 4000, "dataset points for -storagebench")
+
+		traceOut    = fs.String("trace", "", "run one traced faulty job, write its Chrome/Perfetto trace to this path, and exit")
+		metricsOut  = fs.String("metrics", "", "with or instead of -trace: write the traced job's metrics snapshot to this path")
+		tracepoints = fs.Int("tracepoints", 4000, "dataset points for -trace/-metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		return bench.RunTraceBench(stdout, *traceOut, *metricsOut, *tracepoints)
 	}
 	if *kdbench != "" {
 		return bench.RunKDBench(stdout, *kdbench, *kdreps)
@@ -244,6 +286,19 @@ func RunBench(args []string, stdout io.Writer) error {
 }
 
 // ---- helpers ----
+
+// writeExport creates path and streams one of the trace exports to it.
+func writeExport(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
 
 func loadDataset(path string) (*geom.Dataset, error) {
 	f, err := os.Open(path)

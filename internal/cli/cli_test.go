@@ -183,3 +183,73 @@ func TestBenchFaultBench(t *testing.T) {
 		t.Fatal("bad -faultseeds accepted")
 	}
 }
+
+func TestDBSCANObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := RunDatagen([]string{"-dataset", "c10k", "-scale", "0.2", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "c10k.txt")
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	out.Reset()
+	err := RunDBSCAN([]string{"-in", in, "-eps", "25", "-minpts", "5",
+		"-cores", "4", "-trace", tracePath, "-metrics", metricsPath, "-gantt"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "trace written to") || !strings.Contains(s, "metrics written to") {
+		t.Fatalf("missing export confirmations:\n%s", s)
+	}
+	if !strings.Contains(s, "core   0 |") {
+		t.Fatalf("-gantt printed no per-core chart:\n%s", s)
+	}
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(trace), `"traceEvents"`) {
+		t.Fatal("trace file is not Chrome trace-event JSON")
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"critical_path"`, `"stages"`, `"driver_phases"`} {
+		if !strings.Contains(string(metrics), key) {
+			t.Fatalf("metrics file lacks %s", key)
+		}
+	}
+
+	// Observability flags need a virtual distributed run.
+	if err := RunDBSCAN([]string{"-in", in, "-gantt"}, &out); err == nil {
+		t.Fatal("-gantt without -cores accepted")
+	}
+	if err := RunDBSCAN([]string{"-in", in, "-cores", "4", "-realtime",
+		"-trace", tracePath}, &out); err == nil {
+		t.Fatal("-trace with -realtime accepted")
+	}
+}
+
+func TestBenchTraceBench(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	var out bytes.Buffer
+	err := RunBench([]string{"-trace", tracePath, "-metrics", metricsPath, "-tracepoints", "800"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "critical path:") {
+		t.Fatalf("tracebench printed no critical path:\n%s", out.String())
+	}
+	if _, err := os.Stat(tracePath); err != nil {
+		t.Fatalf("trace missing: %v", err)
+	}
+	if _, err := os.Stat(metricsPath); err != nil {
+		t.Fatalf("metrics missing: %v", err)
+	}
+}

@@ -119,6 +119,14 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 		st = nil
 	}
 
+	// With a tracer attached, watch the filesystem so storage-fault
+	// events (checksum failures, failovers, re-replication) land on the
+	// phase whose reads caused them. Observation only: the event log
+	// charges no work.
+	if tr := sctx.Config().Tracer; tr != nil && st != nil && sctx.Config().Mode == spark.Virtual {
+		tr.WatchFS(st.FS)
+	}
+
 	res := &Result{}
 	driverBefore := func() float64 { return sctx.Report().DriverSeconds }
 	execBefore := func() float64 { return sctx.Report().ExecutorSeconds }

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"sparkdbscan/internal/hdfs"
+	"sparkdbscan/internal/spark"
+	"sparkdbscan/internal/trace"
+)
+
+// tracedRun executes the full faulty pipeline (task failures, executor
+// crashes, corrupt replicas, dead datanodes) with or without a tracer
+// attached and returns everything the invariance checks need.
+func tracedRun(t *testing.T, tr *trace.Recorder) (*Result, spark.Report) {
+	t.Helper()
+	ds := testDataset(t, "c10k", 2500)
+	fs := hdfs.NewCluster(1<<14, 3, 6)
+	if err := fs.Write("input", make([]byte, ds.SizeBytes()), nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultProfile(&hdfs.StorageFaultProfile{
+		Seed: 11, CorruptRate: 0.3, DatanodeCrashRate: 0.4,
+	})
+	sctx := spark.NewContext(spark.Config{
+		Cores: 16, CoresPerExecutor: 4, Seed: 42,
+		Faults: &spark.FaultProfile{
+			Seed: 11, TaskFailRate: 0.3, SlowRate: 0.2,
+			ExecutorCrashRate: 0.5, MaxExecutorFailures: 6,
+		},
+		Tracer: tr,
+	})
+	res, err := Run(sctx, ds, Config{
+		Params: tableParams, Partitions: 8,
+		Storage: &StorageOptions{FS: fs, InputFile: "input"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, sctx.Report()
+}
+
+// TestTracingChangesNothing pins the subsystem's foundational
+// invariant: attaching a Recorder changes neither the cluster labels
+// nor any simulated number — Phases, the full Report (Work ledgers,
+// stage seconds, failure counts) are identical, not just close.
+func TestTracingChangesNothing(t *testing.T) {
+	plain, plainRep := tracedRun(t, nil)
+	traced, tracedRep := tracedRun(t, trace.NewRecorder())
+
+	for i := range plain.Global.Labels {
+		if plain.Global.Labels[i] != traced.Global.Labels[i] {
+			t.Fatalf("label %d differs with tracing enabled", i)
+		}
+	}
+	if plain.Phases != traced.Phases {
+		t.Fatalf("Phases differ with tracing enabled:\nplain:  %+v\ntraced: %+v",
+			plain.Phases, traced.Phases)
+	}
+	if !reflect.DeepEqual(plainRep, tracedRep) {
+		t.Fatalf("Report differs with tracing enabled:\nplain:  %+v\ntraced: %+v",
+			plainRep, tracedRep)
+	}
+}
+
+// TestCriticalPathMatchesPhases: the analyzer's segments tile the whole
+// application, so their sum agrees with Phases.Total() to within float
+// telescoping error.
+func TestCriticalPathMatchesPhases(t *testing.T) {
+	tr := trace.NewRecorder()
+	res, _ := tracedRun(t, tr)
+
+	var sum float64
+	segs := tr.CriticalPath()
+	if len(segs) == 0 {
+		t.Fatal("empty critical path")
+	}
+	cur := 0.0
+	for i, s := range segs {
+		if math.Abs(s.Start-cur) > 1e-9 {
+			t.Fatalf("segment %d (%s) starts at %g, previous ended at %g", i, s.Name, s.Start, cur)
+		}
+		cur = s.End
+		sum += s.Seconds
+	}
+	if total := res.Phases.Total(); math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("critical path %.12f != Phases.Total() %.12f (Δ %g)", sum, total, sum-total)
+	}
+
+	// The faulty run's chain must surface its fault machinery somewhere
+	// in the exports: retries on the critical task or a tail segment,
+	// plus storage events on the read phase.
+	m := tr.Metrics()
+	if m.Totals.FailedAttempts == 0 {
+		t.Fatal("fault profile never fired; test exercises nothing")
+	}
+	if len(m.Totals.StorageEvents) == 0 {
+		t.Fatal("no storage events attributed despite storage faults")
+	}
+}
+
+// TestTraceExportsDeterministic: two identical traced runs — with real
+// concurrent host execution underneath — export byte-identical trace
+// and metrics JSON. This is the wall-clock-independence property the CI
+// trace-determinism job diffs.
+func TestTraceExportsDeterministic(t *testing.T) {
+	export := func() ([]byte, []byte) {
+		tr := trace.NewRecorder()
+		tracedRun(t, tr)
+		trJSON, err := tr.ChromeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mJSON bytes.Buffer
+		if err := tr.WriteMetrics(&mJSON); err != nil {
+			t.Fatal(err)
+		}
+		return trJSON, mJSON.Bytes()
+	}
+	t1, m1 := export()
+	t2, m2 := export()
+	if !bytes.Equal(t1, t2) {
+		t.Fatal("trace JSON differs across identical runs")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Fatal("metrics JSON differs across identical runs")
+	}
+}

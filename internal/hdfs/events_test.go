@@ -1,0 +1,129 @@
+package hdfs
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"sparkdbscan/internal/simtime"
+)
+
+func sortEvents(evs []StorageEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Node < b.Node
+	})
+}
+
+// TestEventLogOffByDefault: without SetEventLog(true) a faulty read
+// logs nothing — the log must cost nothing on existing paths.
+func TestEventLogOffByDefault(t *testing.T) {
+	fs := NewCluster(64, 3, 6)
+	data := bytes.Repeat([]byte("x"), 640)
+	if err := fs.Write("f", data, nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultProfile(&StorageFaultProfile{Seed: 7, CorruptRate: 0.5, DatanodeCrashRate: 0.4})
+	if _, err := fs.Read("f", nil); err != nil {
+		t.Fatal(err)
+	}
+	if evs := fs.DrainEvents(); len(evs) != 0 {
+		t.Fatalf("event log disabled but got %d events", len(evs))
+	}
+}
+
+// TestEventLogMatchesStats pins that the logged event multiset agrees
+// with the atomic fault counters, is a deterministic function of
+// (profile, file, blocks) once canonically sorted, and that draining
+// clears the log.
+func TestEventLogMatchesStats(t *testing.T) {
+	run := func() ([]StorageEvent, Stats) {
+		fs := NewCluster(64, 3, 6)
+		data := bytes.Repeat([]byte("y"), 64*20)
+		if err := fs.Write("input", data, nil); err != nil {
+			t.Fatal(err)
+		}
+		fs.SetFaultProfile(&StorageFaultProfile{Seed: 41, CorruptRate: 0.5, DatanodeCrashRate: 0.4})
+		fs.SetEventLog(true)
+		var w simtime.Work
+		if _, err := fs.Read("input", &w); err != nil {
+			t.Fatal(err)
+		}
+		evs := fs.DrainEvents()
+		sortEvents(evs)
+		return evs, fs.Stats()
+	}
+
+	evs, st := run()
+	count := map[StorageEventKind]int64{}
+	for _, e := range evs {
+		count[e.Kind]++
+	}
+	if count[EventChecksumFailure] != st.ChecksumFailures {
+		t.Errorf("%d checksum events, counter says %d", count[EventChecksumFailure], st.ChecksumFailures)
+	}
+	if count[EventDeadNodeProbe] != st.DeadNodeProbes {
+		t.Errorf("%d dead-node events, counter says %d", count[EventDeadNodeProbe], st.DeadNodeProbes)
+	}
+	if count[EventFailover] != st.Failovers {
+		t.Errorf("%d failover events, counter says %d", count[EventFailover], st.Failovers)
+	}
+	if count[EventReReplication] != st.ReReplications {
+		t.Errorf("%d re-replication events, counter says %d", count[EventReReplication], st.ReReplications)
+	}
+	if st.ChecksumFailures+st.DeadNodeProbes == 0 {
+		t.Fatalf("profile injected no faults; test exercises nothing")
+	}
+
+	evs2, _ := run()
+	if len(evs) != len(evs2) {
+		t.Fatalf("event multiset not deterministic: %d vs %d events", len(evs), len(evs2))
+	}
+	for i := range evs {
+		if evs[i] != evs2[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, evs[i], evs2[i])
+		}
+	}
+}
+
+// TestEventLogDrainClears: a drain hands off the batch and resets.
+func TestEventLogDrainClears(t *testing.T) {
+	fs := NewCluster(64, 2, 4)
+	if err := fs.Write("f", bytes.Repeat([]byte("z"), 256), nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultProfile(&StorageFaultProfile{Seed: 3, DatanodeCrashRate: 0.5})
+	fs.SetEventLog(true)
+	if _, err := fs.Read("f", nil); err != nil {
+		t.Fatal(err)
+	}
+	first := fs.DrainEvents()
+	if len(first) == 0 {
+		t.Fatalf("expected events from a degraded read")
+	}
+	if again := fs.DrainEvents(); len(again) != 0 {
+		t.Fatalf("drain did not clear: %d events remain", len(again))
+	}
+
+	// RepairWork logs one re-replication per dead replica.
+	before := len(fs.DrainEvents())
+	w := fs.RepairWork()
+	repair := fs.DrainEvents()
+	if w.ReReplBytes > 0 && len(repair) == before {
+		t.Fatalf("RepairWork charged %d bytes but logged no events", w.ReReplBytes)
+	}
+	for _, e := range repair {
+		if e.Kind != EventReReplication {
+			t.Fatalf("unexpected repair event kind %q", e.Kind)
+		}
+	}
+}

@@ -46,6 +46,27 @@ type Stats struct {
 	ReReplications   int64 // blocks re-replicated because every replica was dead
 }
 
+// StorageEventKind names one kind of storage-fault event.
+type StorageEventKind string
+
+const (
+	EventChecksumFailure StorageEventKind = "checksum_failure"
+	EventDeadNodeProbe   StorageEventKind = "dead_node_probe"
+	EventFailover        StorageEventKind = "failover"
+	EventReReplication   StorageEventKind = "re_replication"
+)
+
+// StorageEvent is one logged storage-fault event. Events carry no
+// timestamp of their own: the simulated clock belongs to the driver and
+// the stage scheduler, so the trace recorder attributes each drained
+// batch to the phase or stage that performed the reads.
+type StorageEvent struct {
+	Kind  StorageEventKind `json:"kind"`
+	File  string           `json:"file"`
+	Block int              `json:"block"`
+	Node  int              `json:"node"` // datanode probed/read, -1 when not tied to one
+}
+
 // FileSystem is an in-memory block store with simulated datanodes.
 type FileSystem struct {
 	mu          sync.RWMutex
@@ -60,6 +81,14 @@ type FileSystem struct {
 	deadNodeProbes   atomic.Int64
 	failovers        atomic.Int64
 	reReplications   atomic.Int64
+
+	// Event log, off by default (SetEventLog). Appends from concurrent
+	// readers interleave in host order; consumers that need a
+	// deterministic view sort drained batches canonically — the event
+	// multiset per job phase is deterministic, its arrival order is not.
+	evOn  atomic.Bool
+	evMu  sync.Mutex
+	evLog []StorageEvent
 }
 
 // New returns a filesystem with the given block size and replication
@@ -133,6 +162,37 @@ func (fs *FileSystem) LiveDataNodes() int {
 		}
 	}
 	return live
+}
+
+// SetEventLog enables (or, with false, disables) collection of
+// per-event storage-fault records for the trace subsystem. Logging is
+// pure observation: it changes no charged work and no returned bytes.
+func (fs *FileSystem) SetEventLog(on bool) {
+	fs.evOn.Store(on)
+	if !on {
+		fs.evMu.Lock()
+		fs.evLog = nil
+		fs.evMu.Unlock()
+	}
+}
+
+// DrainEvents returns the storage events logged since the last drain
+// and clears the log. Callers own the returned slice.
+func (fs *FileSystem) DrainEvents() []StorageEvent {
+	fs.evMu.Lock()
+	out := fs.evLog
+	fs.evLog = nil
+	fs.evMu.Unlock()
+	return out
+}
+
+func (fs *FileSystem) logEvent(kind StorageEventKind, file string, block, node int) {
+	if !fs.evOn.Load() {
+		return
+	}
+	fs.evMu.Lock()
+	fs.evLog = append(fs.evLog, StorageEvent{Kind: kind, File: file, Block: block, Node: node})
+	fs.evMu.Unlock()
 }
 
 // Stats returns a snapshot of the fault counters.
@@ -281,7 +341,7 @@ func (fs *FileSystem) Append(name string, data []byte, w *simtime.Work) error {
 // The walk is a pure function of (profile seed, name, block), so every
 // retried task attempt pays the same cost — nothing here depends on
 // host scheduling.
-func (fs *FileSystem) readPortion(fh uint64, blockIdx int, authentic []byte, sum uint32, p *StorageFaultProfile, w *simtime.Work) {
+func (fs *FileSystem) readPortion(name string, fh uint64, blockIdx int, authentic []byte, sum uint32, p *StorageFaultProfile, w *simtime.Work) {
 	n := int64(len(authentic))
 	if w == nil {
 		var scratch simtime.Work
@@ -301,6 +361,7 @@ func (fs *FileSystem) readPortion(fh uint64, blockIdx int, authentic []byte, sum
 			w.StorageRetries++
 			w.StorageBackoffSecs += backoff
 			fs.deadNodeProbes.Add(1)
+			fs.logEvent(EventDeadNodeProbe, name, blockIdx, node)
 			tried++
 			continue
 		}
@@ -319,6 +380,7 @@ func (fs *FileSystem) readPortion(fh uint64, blockIdx int, authentic []byte, sum
 			w.ChecksumBytes += n
 			if tried > 0 {
 				fs.failovers.Add(1)
+				fs.logEvent(EventFailover, name, blockIdx, node)
 			}
 			return
 		}
@@ -330,6 +392,7 @@ func (fs *FileSystem) readPortion(fh uint64, blockIdx int, authentic []byte, sum
 		w.StorageRetries++
 		w.StorageBackoffSecs += backoff
 		fs.checksumFailures.Add(1)
+		fs.logEvent(EventChecksumFailure, name, blockIdx, node)
 		tried++
 	}
 	// Every replica sits on a crashed datanode. The namenode
@@ -341,6 +404,8 @@ func (fs *FileSystem) readPortion(fh uint64, blockIdx int, authentic []byte, sum
 	w.ChecksumBytes += n
 	fs.reReplications.Add(1)
 	fs.failovers.Add(1)
+	fs.logEvent(EventReReplication, name, blockIdx, -1)
+	fs.logEvent(EventFailover, name, blockIdx, -1)
 }
 
 // saviorReplica returns the index (into reps) of the replica protected
@@ -391,7 +456,7 @@ func (fs *FileSystem) Read(name string, w *simtime.Work) ([]byte, error) {
 	}
 	out := make([]byte, 0, total)
 	for i, b := range blocks {
-		fs.readPortion(fh, i, b, sums[i], p, w)
+		fs.readPortion(name, fh, i, b, sums[i], p, w)
 		out = append(out, b...)
 	}
 	return out, nil
@@ -419,7 +484,7 @@ func (fs *FileSystem) ReadBlock(name string, i int, w *simtime.Work) ([]byte, er
 	if i < 0 || i >= len(blocks) {
 		return nil, fmt.Errorf("hdfs: %q has %d blocks, asked for %d", name, len(blocks), i)
 	}
-	fs.readPortion(fileHash(name), i, blocks[i], sums[i], p, w)
+	fs.readPortion(name, fileHash(name), i, blocks[i], sums[i], p, w)
 	out := make([]byte, len(blocks[i]))
 	copy(out, blocks[i])
 	return out, nil
@@ -462,7 +527,7 @@ func (fs *FileSystem) ReadAt(name string, off, length int64, w *simtime.Work) ([
 				// received, not the whole block.
 				sum = crc32.ChecksumIEEE(portion)
 			}
-			fs.readPortion(fh, i, portion, sum, p, w)
+			fs.readPortion(name, fh, i, portion, sum, p, w)
 			out = append(out, portion...)
 		}
 		pos = blockEnd
@@ -493,6 +558,7 @@ func (fs *FileSystem) RepairWork() simtime.Work {
 			for _, node := range fs.placement(fh, i) {
 				if p.nodeDown(node, fs.numNodes) {
 					w.ReReplBytes += int64(len(b))
+					fs.logEvent(EventReReplication, name, i, node)
 				}
 			}
 		}

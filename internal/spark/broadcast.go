@@ -1,6 +1,12 @@
 package spark
 
-import "sync/atomic"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/trace"
+)
 
 // Broadcast is a read-only variable shipped once to every executor and
 // cached there, instead of being serialized into every task closure —
@@ -31,8 +37,11 @@ func NewBroadcast[T any](ctx *Context, value T, sizeBytes int64) *Broadcast[T] {
 	ctx.nextRDDID++
 	// Driver-side serialization cost.
 	ctx.report.DriverWork.SerBytes += sizeBytes
+	startClock := ctx.report.DriverSeconds + ctx.report.ExecutorSeconds
+	serDur := 0.0
 	if ctx.cfg.Mode == Virtual {
-		ctx.report.DriverSeconds += float64(sizeBytes) * ctx.cfg.Model.SerByte
+		serDur = float64(sizeBytes) * ctx.cfg.Model.SerByte
+		ctx.report.DriverSeconds += serDur
 	}
 	// Executor-side deserialization: charged as warmup of the next
 	// stage. Spark's TorrentBroadcast distributes peer-to-peer, so the
@@ -48,6 +57,10 @@ func NewBroadcast[T any](ctx *Context, value T, sizeBytes int64) *Broadcast[T] {
 		ctx.bcastWarmupTotal += deser
 	}
 	ctx.mu.Unlock()
+	if tr := ctx.cfg.Tracer; tr != nil && ctx.cfg.Mode == Virtual {
+		tr.RecordDriverSpan(fmt.Sprintf("broadcast %d serialize", id),
+			trace.KindBroadcast, startClock, serDur, simtime.Work{SerBytes: sizeBytes})
+	}
 	return &Broadcast[T]{value: value, id: id, bytes: sizeBytes}
 }
 

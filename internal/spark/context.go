@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/trace"
 	"sparkdbscan/internal/vcluster"
 )
 
@@ -101,6 +102,11 @@ type Config struct {
 	// tasks in Virtual mode (wall-clock speed only; no effect on
 	// simulated time). Default runtime.NumCPU().
 	HostParallelism int
+	// Tracer, when set, records driver spans and stage schedules on the
+	// simulated clock for the observability exports (Virtual mode
+	// only). The recorder is a write-only observer: attaching one
+	// changes no label and no simulated number.
+	Tracer *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +218,9 @@ func NewContext(cfg Config) *Context {
 	n := c.cfg.NumExecutors()
 	c.execFailures = make([]int, n)
 	c.blacklist = make([]bool, n)
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.SetModel(c.cfg.Model)
+	}
 	return c
 }
 
@@ -264,12 +273,18 @@ func (c *Context) RunInDriver(name string, f func(w *simtime.Work) error) error 
 	elapsed := time.Since(start).Seconds()
 	c.mu.Lock()
 	c.report.DriverWork.Add(w)
+	dur := elapsed
 	if c.cfg.Mode == Virtual {
-		c.report.DriverSeconds += c.cfg.Model.Seconds(w)
-	} else {
-		c.report.DriverSeconds += elapsed
+		dur = c.cfg.Model.Seconds(w)
 	}
+	// Simulated "now" when this span began: phases and stages are
+	// sequential, so the clock is the sum of everything charged so far.
+	startClock := c.report.DriverSeconds + c.report.ExecutorSeconds
+	c.report.DriverSeconds += dur
 	c.mu.Unlock()
+	if tr := c.cfg.Tracer; tr != nil && c.cfg.Mode == Virtual {
+		tr.RecordDriverSpan(name, trace.KindPhase, startClock, dur, w)
+	}
 	return err
 }
 
@@ -358,6 +373,7 @@ func runStage[T any](c *Context, name string, parts int,
 	results := make([]T, parts)
 	taskWork := make([]simtime.Work, parts)
 	taskFails := make([][]attemptFailure, parts)
+	taskCommits := make([]int, parts)
 
 	workers := c.cfg.HostParallelism
 	if c.cfg.Mode == Real {
@@ -400,7 +416,7 @@ func runStage[T any](c *Context, name string, parts int,
 		go func(split int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			res, w, fails, err := runTaskWithRetries(c, stageID, split, compute)
+			res, w, fails, commits, err := runTaskWithRetries(c, stageID, split, compute)
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil {
@@ -412,6 +428,7 @@ func runStage[T any](c *Context, name string, parts int,
 			results[split] = res
 			taskWork[split] = w
 			taskFails[split] = fails
+			taskCommits[split] = commits
 		}(split)
 	}
 	wg.Wait()
@@ -488,6 +505,7 @@ func runStage[T any](c *Context, name string, parts int,
 	}
 
 	c.mu.Lock()
+	startClock := c.report.DriverSeconds + c.report.ExecutorSeconds
 	c.report.Stages = append(c.report.Stages, rep)
 	c.report.ExecutorSeconds += rep.Seconds
 	c.report.ExecutorRestarts += sched.Restarts
@@ -515,16 +533,30 @@ func runStage[T any](c *Context, name string, parts int,
 		}
 	}
 	c.mu.Unlock()
+	if tr := c.cfg.Tracer; tr != nil && c.cfg.Mode == Virtual {
+		// Recorded after the report is updated, purely as observation:
+		// the schedule is already priced, so nothing here can move a
+		// simulated number.
+		schedCopy := sched
+		tr.RecordStage(trace.StageRecord{
+			ID: stageID, Name: name, Start: startClock,
+			Cores: c.cfg.Cores, CoresPerExecutor: c.cfg.CoresPerExecutor,
+			Sched: &schedCopy, TaskWork: taskWork, Commits: taskCommits,
+		})
+	}
 	return results, nil
 }
 
 // runTaskWithRetries runs one task until success or retry exhaustion,
-// returning the successful attempt's work plus the ledger of failed
-// attempts. Accumulator updates are merged only for the successful
-// attempt, so accumulators count each partition exactly once per
-// action — matching Spark's guarantee for updates inside actions.
+// returning the successful attempt's work, the ledger of failed
+// attempts, and how many accumulator updates the attempt committed (for
+// the trace, which attributes commits to the task's simulated finish —
+// the driver-side arrival order is host-scheduling noise). Accumulator
+// updates are merged only for the successful attempt, so accumulators
+// count each partition exactly once per action — matching Spark's
+// guarantee for updates inside actions.
 func runTaskWithRetries[T any](c *Context, stageID, split int,
-	compute func(split int, tc *TaskContext) (T, error)) (T, simtime.Work, []attemptFailure, error) {
+	compute func(split int, tc *TaskContext) (T, error)) (T, simtime.Work, []attemptFailure, int, error) {
 	var zero T
 	var lastErr error
 	var fails []attemptFailure
@@ -542,9 +574,9 @@ func runTaskWithRetries[T any](c *Context, stageID, split int,
 			continue
 		}
 		c.commitAccUpdates(tc)
-		return res, tc.work, fails, nil
+		return res, tc.work, fails, len(tc.accUpdates), nil
 	}
-	return zero, simtime.Work{}, fails,
+	return zero, simtime.Work{}, fails, 0,
 		fmt.Errorf("spark: stage %d task %d failed %d attempts: %w",
 			stageID, split, c.cfg.MaxTaskRetries, lastErr)
 }

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/vcluster"
+)
+
+// Critical-path analysis. The pipeline is sequential at the phase
+// level — the driver blocks on every stage — so the application's
+// dependency chain is: each driver span end-to-end, and inside each
+// stage the chain through the assignment that set the makespan: that
+// task's earlier failed attempts, the backoff window after each
+// failure, the queue waits between them, the broadcast warm-up ahead of
+// the first attempt, and the surviving run. Whatever of the stage
+// interval the chain does not explain (a replacement executor's restart
+// warm-up outliving the last task, trailing launch overheads) is
+// reported as a tail segment rather than hidden.
+//
+// By construction the segments tile [0, Total()] with no gaps or
+// overlaps, so their durations sum to Phases.Total() up to float
+// addition error — the identity the acceptance test pins at 1e-9.
+
+// Segment is one link of the critical path.
+type Segment struct {
+	// Kind is one of: driver, broadcast, stage-warmup, queue, task,
+	// failed_attempt, backoff, tail.
+	Kind    string  `json:"kind"`
+	Name    string  `json:"name"`
+	Start   float64 `json:"start"`
+	End     float64 `json:"end"`
+	Seconds float64 `json:"seconds"`
+	Stage   int     `json:"stage"` // stage ID; -1 for driver segments
+	Task    int     `json:"task"`  // task ID; -1 when not task-bound
+	Core    int     `json:"core"`  // core; -1 when not core-bound
+	Attempt int     `json:"attempt"`
+	// Work is the segment's ledger when one exists: the driver span's
+	// metered work, or the critical task's successful-attempt work.
+	Work *simtime.Work `json:"work,omitempty"`
+}
+
+// CriticalPath walks the recorded timeline and returns the chain of
+// segments that had to run back-to-back for the application to take as
+// long as it did.
+func (r *Recorder) CriticalPath() []Segment {
+	items := r.timeline()
+	var segs []Segment
+	for _, it := range items {
+		if it.driver != nil {
+			d := it.driver
+			w := d.Work
+			segs = append(segs, Segment{
+				Kind: string(d.Kind), Name: d.Name,
+				Start: d.Start, End: d.Start + d.Dur, Seconds: d.Dur,
+				Stage: -1, Task: -1, Core: -1, Attempt: -1, Work: &w,
+			})
+			continue
+		}
+		segs = append(segs, stageCriticalPath(it.stage)...)
+	}
+	return segs
+}
+
+// stageCriticalPath decomposes one stage's [Start, Start+makespan]
+// interval into the chain through its critical task.
+func stageCriticalPath(s *StageRecord) []Segment {
+	sched := s.Sched
+	if sched == nil || sched.Makespan <= 0 {
+		return nil
+	}
+	base := s.Start
+
+	// The critical assignment: the successful attempt that finished
+	// last. Ties break toward the earlier-iterated assignment, which is
+	// deterministic because the scheduler emits assignments in a fixed
+	// order.
+	var crit *vcluster.Assignment
+	for i := range sched.Assignments {
+		a := &sched.Assignments[i]
+		if a.Failed {
+			continue
+		}
+		if crit == nil || a.Finish > crit.Finish {
+			crit = a
+		}
+	}
+	if crit == nil {
+		return []Segment{{
+			Kind: "tail", Name: s.Name + " (no successful task)",
+			Start: base, End: base + sched.Makespan, Seconds: sched.Makespan,
+			Stage: s.ID, Task: -1, Core: -1,
+		}}
+	}
+
+	// The critical task's attempt history, oldest first, and the
+	// backoff window that followed each failure.
+	var attempts []vcluster.Assignment
+	for _, a := range sched.Assignments {
+		if a.Task.ID == crit.Task.ID {
+			attempts = append(attempts, a)
+		}
+	}
+	sort.SliceStable(attempts, func(i, j int) bool {
+		return attempts[i].Attempt < attempts[j].Attempt
+	})
+	backoffAfter := map[int]vcluster.BackoffSpan{}
+	for _, b := range sched.Backoffs {
+		if b.TaskID == crit.Task.ID {
+			backoffAfter[b.Attempt] = b
+		}
+	}
+
+	var segs []Segment
+	cur := 0.0
+	emitGap := func(to float64, core int) {
+		if to <= cur+1e-12 {
+			return
+		}
+		// The head gap up to the per-core warm-up is broadcast
+		// deserialization, not scheduler queueing.
+		if cur == 0 && sched.Warmup > 0 {
+			w := sched.Warmup
+			if w > to {
+				w = to
+			}
+			segs = append(segs, Segment{
+				Kind: "stage-warmup", Name: "broadcast deserialization",
+				Start: base, End: base + w, Seconds: w,
+				Stage: s.ID, Task: -1, Core: core, Attempt: -1,
+			})
+			cur = w
+			if to <= cur+1e-12 {
+				return
+			}
+		}
+		segs = append(segs, Segment{
+			Kind: "queue", Name: fmt.Sprintf("task %d waits for a core", crit.Task.ID),
+			Start: base + cur, End: base + to, Seconds: to - cur,
+			Stage: s.ID, Task: crit.Task.ID, Core: core, Attempt: -1,
+		})
+		cur = to
+	}
+
+	for _, a := range attempts {
+		start := assignmentStart(a)
+		emitGap(start, a.Core)
+		if start < cur {
+			start = cur // never step backward; keeps the tiling exact
+		}
+		seg := Segment{
+			Start: base + start, End: base + a.Finish, Seconds: a.Finish - start,
+			Stage: s.ID, Task: a.Task.ID, Core: a.Core, Attempt: a.Attempt,
+		}
+		if a.Failed {
+			seg.Kind = "failed_attempt"
+			seg.Name = fmt.Sprintf("task %d attempt %d (failed)", a.Task.ID, a.Attempt)
+		} else {
+			seg.Kind = "task"
+			seg.Name = fmt.Sprintf("task %d", a.Task.ID)
+			if a.Speculated {
+				seg.Name += " (speculative win)"
+			}
+			if a.Task.ID >= 0 && a.Task.ID < len(s.TaskWork) {
+				w := s.TaskWork[a.Task.ID]
+				seg.Work = &w
+			}
+		}
+		segs = append(segs, seg)
+		cur = a.Finish
+		if !a.Failed {
+			break
+		}
+		if b, ok := backoffAfter[a.Attempt]; ok && b.Finish > cur {
+			bs := b.Start
+			if bs < cur {
+				bs = cur
+			}
+			segs = append(segs, Segment{
+				Kind: "backoff", Name: fmt.Sprintf("retry backoff after attempt %d", a.Attempt),
+				Start: base + bs, End: base + b.Finish, Seconds: b.Finish - bs,
+				Stage: s.ID, Task: a.Task.ID, Core: b.Core, Attempt: a.Attempt,
+			})
+			cur = b.Finish
+		}
+	}
+	if sched.Makespan > cur+1e-12 {
+		segs = append(segs, Segment{
+			Kind: "tail", Name: "core drain / restart warm-up",
+			Start: base + cur, End: base + sched.Makespan, Seconds: sched.Makespan - cur,
+			Stage: s.ID, Task: -1, Core: -1, Attempt: -1,
+		})
+	}
+	return segs
+}
+
+// WriteCriticalPath renders the critical path as a human-readable
+// report: one line per segment plus a bottleneck ranking.
+func (r *Recorder) WriteCriticalPath(w io.Writer) error {
+	segs := r.CriticalPath()
+	var total float64
+	for _, s := range segs {
+		total += s.Seconds
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "critical path: %d segments, %.6fs total\n", len(segs), total)
+	for _, s := range segs {
+		loc := ""
+		if s.Stage >= 0 {
+			loc = fmt.Sprintf(" [stage %d", s.Stage)
+			if s.Core >= 0 {
+				loc += fmt.Sprintf(" core %d", s.Core)
+			}
+			loc += "]"
+		}
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * s.Seconds / total
+		}
+		fmt.Fprintf(&sb, "  %9.6fs  %5.1f%%  %-15s %s%s\n",
+			s.Seconds, pct, s.Kind, s.Name, loc)
+	}
+	ranked := append([]Segment(nil), segs...)
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].Seconds > ranked[j].Seconds })
+	n := 3
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	sb.WriteString("bottlenecks:\n")
+	for _, s := range ranked[:n] {
+		fmt.Fprintf(&sb, "  %.6fs  %s (%s)\n", s.Seconds, s.Name, s.Kind)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,292 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"sparkdbscan/internal/hdfs"
+	"sparkdbscan/internal/simtime"
+)
+
+// Metrics is the snapshot export: per-phase and per-stage breakdowns,
+// per-executor work attribution, core utilization, the straggler
+// stretch distribution, retry/backoff waste, and the critical path.
+// Marshalled with fixed field order and sorted map keys, so two runs of
+// the same configuration produce byte-identical JSON.
+type Metrics struct {
+	Totals       Totals               `json:"totals"`
+	Driver       []DriverPhaseMetrics `json:"driver_phases"`
+	Stages       []StageMetrics       `json:"stages"`
+	CriticalPath []Segment            `json:"critical_path"`
+}
+
+// Totals aggregates the whole application.
+type Totals struct {
+	DriverSeconds   float64 `json:"driver_seconds"`
+	ExecutorSeconds float64 `json:"executor_seconds"`
+	TotalSeconds    float64 `json:"total_seconds"`
+	// CriticalPathSeconds is the sum of critical-path segment
+	// durations; it equals TotalSeconds by construction (the segments
+	// tile [0, total]), kept separate so the identity is checkable.
+	CriticalPathSeconds float64        `json:"critical_path_seconds"`
+	RetrySeconds        float64        `json:"retry_seconds"`
+	BackoffSeconds      float64        `json:"backoff_seconds"`
+	FailedAttempts      int            `json:"failed_attempts"`
+	ExecutorRestarts    int            `json:"executor_restarts"`
+	SpeculativeWins     int            `json:"speculative_wins"`
+	StorageEvents       map[string]int `json:"storage_events,omitempty"`
+}
+
+// DriverPhaseMetrics describes one driver span.
+type DriverPhaseMetrics struct {
+	Name          string         `json:"name"`
+	Kind          SpanKind       `json:"kind"`
+	Start         float64        `json:"start"`
+	Seconds       float64        `json:"seconds"`
+	Work          simtime.Work   `json:"work"`
+	StorageEvents map[string]int `json:"storage_events,omitempty"`
+}
+
+// StageMetrics describes one executor stage.
+type StageMetrics struct {
+	ID      int     `json:"id"`
+	Name    string  `json:"name"`
+	Start   float64 `json:"start"`
+	Seconds float64 `json:"seconds"` // makespan
+	Ideal   float64 `json:"ideal"`   // perfectly balanced lower bound
+	Tasks   int     `json:"tasks"`
+	Cores   int     `json:"cores"`
+	// Utilization is occupied core time (attempts + warmups) over
+	// Cores × makespan.
+	Utilization     float64 `json:"utilization"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	RetrySeconds    float64 `json:"retry_seconds"`
+	BackoffSeconds  float64 `json:"backoff_seconds"`
+	FailedAttempts  int     `json:"failed_attempts"`
+	Restarts        int     `json:"restarts"`
+	SpeculativeWins int     `json:"speculative_wins"`
+	Commits         int     `json:"commits"`
+	// Work sums the successful attempts' ledgers; WorkSeconds prices
+	// it with the cost model (sequential-equivalent seconds).
+	Work        simtime.Work `json:"work"`
+	WorkSeconds float64      `json:"work_seconds"`
+	// Stretch is the distribution of per-task slowdown: successful
+	// attempt duration over the task's base cost (straggler draw ×
+	// fault slow factor + launch overhead).
+	Stretch       Distribution      `json:"stretch"`
+	Executors     []ExecutorMetrics `json:"executors"`
+	StorageEvents map[string]int    `json:"storage_events,omitempty"`
+}
+
+// ExecutorMetrics attributes stage work to one executor process.
+type ExecutorMetrics struct {
+	Executor       int          `json:"executor"`
+	Tasks          int          `json:"tasks"` // successful attempts
+	BusySeconds    float64      `json:"busy_seconds"`
+	FailedAttempts int          `json:"failed_attempts"`
+	Work           simtime.Work `json:"work"`
+}
+
+// Distribution summarizes a sample deterministically.
+type Distribution struct {
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+func distribution(samples []float64) Distribution {
+	if len(samples) == 0 {
+		return Distribution{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return Distribution{
+		Min:  s[0],
+		P50:  quantile(s, 0.5),
+		P90:  quantile(s, 0.9),
+		Max:  s[len(s)-1],
+		Mean: sum / float64(len(s)),
+	}
+}
+
+// quantile interpolates linearly on a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func countEvents(batch []hdfs.StorageEvent) map[string]int {
+	if len(batch) == 0 {
+		return nil
+	}
+	out := make(map[string]int)
+	for _, e := range batch {
+		out[string(e.Kind)]++
+	}
+	return out
+}
+
+func mergeCounts(dst, src map[string]int) map[string]int {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]int)
+	}
+	for k, v := range src {
+		dst[k] += v
+	}
+	return dst
+}
+
+// WriteMetrics writes the metrics snapshot as JSON.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	data, err := json.MarshalIndent(r.Metrics(), "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Metrics computes the snapshot from the recorded timeline.
+func (r *Recorder) Metrics() *Metrics {
+	r.mu.Lock()
+	model := r.model
+	r.mu.Unlock()
+	items := r.timeline()
+
+	m := &Metrics{}
+	for _, it := range items {
+		if it.driver != nil {
+			d := it.driver
+			m.Totals.DriverSeconds += d.Dur
+			m.Driver = append(m.Driver, DriverPhaseMetrics{
+				Name: d.Name, Kind: d.Kind, Start: d.Start, Seconds: d.Dur,
+				Work: d.Work, StorageEvents: countEvents(d.Storage),
+			})
+			m.Totals.StorageEvents = mergeCounts(m.Totals.StorageEvents, countEvents(d.Storage))
+			continue
+		}
+		sm := stageMetrics(it.stage, model)
+		m.Totals.ExecutorSeconds += sm.Seconds
+		m.Totals.RetrySeconds += sm.RetrySeconds
+		m.Totals.BackoffSeconds += sm.BackoffSeconds
+		m.Totals.FailedAttempts += sm.FailedAttempts
+		m.Totals.ExecutorRestarts += sm.Restarts
+		m.Totals.SpeculativeWins += sm.SpeculativeWins
+		m.Totals.StorageEvents = mergeCounts(m.Totals.StorageEvents, sm.StorageEvents)
+		m.Stages = append(m.Stages, sm)
+	}
+	m.Totals.TotalSeconds = m.Totals.DriverSeconds + m.Totals.ExecutorSeconds
+	m.CriticalPath = r.CriticalPath()
+	for _, seg := range m.CriticalPath {
+		m.Totals.CriticalPathSeconds += seg.Seconds
+	}
+	return m
+}
+
+func stageMetrics(s *StageRecord, model *simtime.CostModel) StageMetrics {
+	sched := s.Sched
+	sm := StageMetrics{
+		ID: s.ID, Name: s.Name, Start: s.Start,
+		Tasks: len(s.TaskWork), Cores: s.Cores,
+		StorageEvents: countEvents(s.Storage),
+	}
+	if sched == nil {
+		return sm
+	}
+	sm.Seconds = sched.Makespan
+	sm.Ideal = sched.IdealSpan
+	sm.RetrySeconds = sched.RetrySeconds
+	sm.BackoffSeconds = sched.BackoffSeconds
+	sm.FailedAttempts = sched.FailedAttempts
+	sm.Restarts = sched.Restarts
+	sm.WarmupSeconds = sched.Warmup * float64(len(sched.UsableCores))
+	for _, rw := range sched.RestartWarmups {
+		sm.WarmupSeconds += rw.Finish - rw.Start
+	}
+	for _, n := range s.Commits {
+		sm.Commits += n
+	}
+	for _, w := range s.TaskWork {
+		sm.Work.Add(w)
+	}
+	if model != nil {
+		sm.WorkSeconds = model.Seconds(sm.Work)
+	}
+
+	cpe := s.CoresPerExecutor
+	if cpe < 1 {
+		cpe = 1
+	}
+	numExec := (s.Cores + cpe - 1) / cpe
+	if n := len(sched.ExecutorFailures); n > numExec {
+		numExec = n
+	}
+	execs := make([]ExecutorMetrics, numExec)
+	for e := range execs {
+		execs[e].Executor = e
+		if e < len(sched.ExecutorFailures) {
+			execs[e].FailedAttempts = sched.ExecutorFailures[e]
+		}
+	}
+	exOf := func(core int) int {
+		e := core / cpe
+		if e >= numExec {
+			e = numExec - 1
+		}
+		return e
+	}
+
+	var busy float64
+	var stretches []float64
+	for _, a := range sched.Assignments {
+		dur := a.Finish - assignmentStart(a)
+		busy += dur
+		e := exOf(a.Core)
+		execs[e].BusySeconds += dur
+		if a.Failed {
+			continue
+		}
+		execs[e].Tasks++
+		if a.Task.ID >= 0 && a.Task.ID < len(s.TaskWork) {
+			execs[e].Work.Add(s.TaskWork[a.Task.ID])
+		}
+		if a.Task.Seconds > 0 {
+			stretches = append(stretches, dur/a.Task.Seconds)
+		}
+		if a.Speculated {
+			sm.SpeculativeWins++
+		}
+	}
+	busy += sm.WarmupSeconds
+	for _, c := range sched.UsableCores {
+		execs[exOf(c)].BusySeconds += sched.Warmup
+	}
+	for _, rw := range sched.RestartWarmups {
+		execs[exOf(rw.Core)].BusySeconds += rw.Finish - rw.Start
+	}
+	if s.Cores > 0 && sched.Makespan > 0 {
+		sm.Utilization = busy / (float64(s.Cores) * sched.Makespan)
+	}
+	sm.Stretch = distribution(stretches)
+	sm.Executors = execs
+	return sm
+}

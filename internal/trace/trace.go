@@ -1,0 +1,258 @@
+// Package trace is the deterministic observability layer over the
+// simulated Spark runtime: a span/event recorder keyed to the simulated
+// clock (never the wall clock), with three consumers — a Chrome
+// trace-event export loadable in Perfetto, a metrics snapshot, and a
+// critical-path analyzer.
+//
+// The recorder is a write-only observer. Attaching one changes no
+// cluster labels and no simtime number: the spark layer records what it
+// already computed (driver durations, stage schedules) after the fact,
+// and the hdfs event log charges nothing. The pinned invariant is that
+// a traced run's labels, Work ledgers and Phases are byte-identical to
+// an untraced run's.
+//
+// Determinism is load-bearing: two runs of the same configuration must
+// export byte-identical JSON. Everything recorded is a pure function of
+// the configuration — simulated times come from the cost model and the
+// vcluster scheduler, never time.Now(); storage events, whose arrival
+// order from concurrent host goroutines is scheduling-dependent, are
+// drained per phase/stage (a deterministic multiset) and sorted
+// canonically; JSON marshalling uses fixed struct field order and
+// sorted map keys.
+//
+// The clock: at any point between phases, simulated "now" equals
+// DriverSeconds + ExecutorSeconds, because driver phases and executor
+// stages never overlap in the pipeline (the driver blocks on each
+// stage). Driver spans and stage records therefore tile the interval
+// [0, Report.Total()] exactly, which is what lets the critical path sum
+// back to Phases.Total().
+package trace
+
+import (
+	"sort"
+	"sync"
+
+	"sparkdbscan/internal/hdfs"
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/vcluster"
+)
+
+// SpanKind classifies a driver-side span.
+type SpanKind string
+
+const (
+	// KindPhase is ordinary driver work run via RunInDriver (read,
+	// tree build, journal, merge).
+	KindPhase SpanKind = "phase"
+	// KindBroadcast is driver-side broadcast serialization.
+	KindBroadcast SpanKind = "broadcast"
+)
+
+// DriverSpan is one contiguous interval of driver-side work on the
+// simulated clock.
+type DriverSpan struct {
+	Name  string
+	Kind  SpanKind
+	Start float64 // simulated seconds since application start
+	Dur   float64
+	Work  simtime.Work
+	// Storage holds the storage-fault events that occurred during the
+	// span, canonically sorted (see SortStorageEvents).
+	Storage []hdfs.StorageEvent
+}
+
+// StageRecord is one executor stage: the simulated start of its
+// interval plus the full vcluster schedule that set its makespan.
+type StageRecord struct {
+	ID               int
+	Name             string
+	Start            float64 // simulated seconds since application start
+	Cores            int
+	CoresPerExecutor int
+	Sched            *vcluster.Schedule
+	// TaskWork is the successful attempt's metered work per partition
+	// (indexed by task/partition ID).
+	TaskWork []simtime.Work
+	// Commits is how many accumulator updates each partition's
+	// successful attempt committed. Commit order at the driver is
+	// host-scheduling-dependent, so the trace attributes commits to the
+	// (stage, partition) pair at the attempt's simulated finish instead
+	// of recording arrival order.
+	Commits []int
+	Storage []hdfs.StorageEvent
+}
+
+// Makespan returns the stage's simulated duration.
+func (s *StageRecord) Makespan() float64 {
+	if s.Sched == nil {
+		return 0
+	}
+	return s.Sched.Makespan
+}
+
+// Recorder collects driver spans and stage records in execution order.
+// The simulated clock is monotone, so record order is chronological.
+// Safe for concurrent use, though the driver records sequentially.
+type Recorder struct {
+	mu     sync.Mutex
+	model  *simtime.CostModel
+	fs     *hdfs.FileSystem
+	driver []DriverSpan
+	stages []StageRecord
+	// order interleaves the two slices: entry d(i) or s(i) in record
+	// order. true = driver span, false = stage.
+	order []timelineRef
+}
+
+type timelineRef struct {
+	driver bool
+	idx    int
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// SetModel attaches the cost model used to price Work ledgers in the
+// metrics snapshot. The spark context calls this on construction.
+func (r *Recorder) SetModel(m *simtime.CostModel) {
+	r.mu.Lock()
+	r.model = m
+	r.mu.Unlock()
+}
+
+// WatchFS enables the filesystem's storage event log and makes the
+// recorder drain it into each subsequent span/stage record, so every
+// checksum failure, dead-node probe, failover and re-replication is
+// attributed to the phase whose reads caused it.
+func (r *Recorder) WatchFS(fs *hdfs.FileSystem) {
+	r.mu.Lock()
+	r.fs = fs
+	r.mu.Unlock()
+	if fs != nil {
+		fs.SetEventLog(true)
+	}
+}
+
+// drainStorage collects the watched filesystem's pending events in
+// canonical order. Caller holds r.mu.
+func (r *Recorder) drainStorage() []hdfs.StorageEvent {
+	if r.fs == nil {
+		return nil
+	}
+	evs := r.fs.DrainEvents()
+	SortStorageEvents(evs)
+	return evs
+}
+
+// SortStorageEvents orders events canonically by (File, Block, Kind,
+// Node). The multiset of events per phase is deterministic; their
+// arrival order from concurrent readers is not, so every consumer works
+// from this ordering.
+func SortStorageEvents(evs []hdfs.StorageEvent) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Node < b.Node
+	})
+}
+
+// RecordDriverSpan appends one driver-side span. start is the
+// simulated clock when the span began; dur its priced duration.
+func (r *Recorder) RecordDriverSpan(name string, kind SpanKind, start, dur float64, w simtime.Work) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.driver = append(r.driver, DriverSpan{
+		Name: name, Kind: kind, Start: start, Dur: dur, Work: w,
+		Storage: r.drainStorage(),
+	})
+	r.order = append(r.order, timelineRef{driver: true, idx: len(r.driver) - 1})
+}
+
+// RecordStage appends one executor stage record. rec.Storage is
+// overwritten with the watched filesystem's drained events.
+func (r *Recorder) RecordStage(rec StageRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rec.Storage = r.drainStorage()
+	r.stages = append(r.stages, rec)
+	r.order = append(r.order, timelineRef{driver: false, idx: len(r.stages) - 1})
+}
+
+// Stages returns the recorded stage records in execution order (a
+// copy; the schedules are shared, callers must not mutate them). The
+// dbscan CLI uses this to render per-stage Gantt charts.
+func (r *Recorder) Stages() []StageRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]StageRecord(nil), r.stages...)
+}
+
+// timelineItem is one entry of the merged chronological view.
+type timelineItem struct {
+	driver *DriverSpan
+	stage  *StageRecord
+}
+
+// timeline returns the records in execution order. The returned items
+// point into copies of the recorder's slices, so callers may read them
+// without holding the lock.
+func (r *Recorder) timeline() []timelineItem {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	driver := append([]DriverSpan(nil), r.driver...)
+	stages := append([]StageRecord(nil), r.stages...)
+	items := make([]timelineItem, 0, len(r.order))
+	for _, ref := range r.order {
+		if ref.driver {
+			items = append(items, timelineItem{driver: &driver[ref.idx]})
+		} else {
+			items = append(items, timelineItem{stage: &stages[ref.idx]})
+		}
+	}
+	return items
+}
+
+// start returns the item's simulated start time.
+func (it timelineItem) start() float64 {
+	if it.driver != nil {
+		return it.driver.Start
+	}
+	return it.stage.Start
+}
+
+// dur returns the item's simulated duration.
+func (it timelineItem) dur() float64 {
+	if it.driver != nil {
+		return it.driver.Dur
+	}
+	return it.stage.Makespan()
+}
+
+// assignmentStart is when an assignment actually began occupying its
+// core: the clone launch for a speculation win, the recorded start
+// otherwise.
+func assignmentStart(a vcluster.Assignment) float64 {
+	if a.Speculated {
+		return a.CloneStart
+	}
+	return a.Start
+}
+
+// successfulByTask maps task ID → its successful assignment.
+func successfulByTask(sched *vcluster.Schedule) map[int]vcluster.Assignment {
+	out := make(map[int]vcluster.Assignment)
+	for _, a := range sched.Assignments {
+		if !a.Failed {
+			out[a.Task.ID] = a
+		}
+	}
+	return out
+}

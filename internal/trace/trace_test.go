@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"sparkdbscan/internal/hdfs"
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/vcluster"
+)
+
+// testRecorder builds a recorder over a synthetic but realistic
+// timeline: two driver phases around a faulty 8-core stage (retries,
+// backoffs, an executor crash with restart warm-up), a broadcast span,
+// and a final merge phase.
+func testRecorder(t *testing.T) (*Recorder, float64) {
+	t.Helper()
+	r := NewRecorder()
+	r.SetModel(simtime.DefaultModel())
+
+	clock := 0.0
+	span := func(name string, kind SpanKind, dur float64, w simtime.Work) {
+		r.RecordDriverSpan(name, kind, clock, dur, w)
+		clock += dur
+	}
+	span("read+transform", KindPhase, 1.25, simtime.Work{HDFSBytes: 1 << 20})
+	span("kdtree build", KindPhase, 0.75, simtime.Work{TreeBuildOps: 5000})
+	span("broadcast serialize", KindBroadcast, 0.5, simtime.Work{SerBytes: 1 << 19})
+
+	tasks := make([]vcluster.Task, 16)
+	for i := range tasks {
+		tasks[i] = vcluster.Task{ID: i, Seconds: 0.5 + 0.05*float64(i%4)}
+		if i%5 == 0 {
+			tasks[i].FailedAttempts = []float64{0.2}
+		}
+	}
+	sched := vcluster.Run(tasks, vcluster.Options{
+		Cores: 8, CoresPerExecutor: 4, StragglerFrac: 0.5, Seed: 99,
+		RetryBackoff: 0.1, WarmupPerCore: 0.3,
+		CrashedExecutors: []int{1}, RestartWarmup: 0.25,
+	})
+	work := make([]simtime.Work, 16)
+	commits := make([]int, 16)
+	for i := range work {
+		work[i] = simtime.Work{Elems: int64(100 * (i + 1))}
+		commits[i] = 1 + i%2
+	}
+	r.RecordStage(StageRecord{
+		ID: 0, Name: "local dbscan", Start: clock,
+		Cores: 8, CoresPerExecutor: 4,
+		Sched: &sched, TaskWork: work, Commits: commits,
+	})
+	clock += sched.Makespan
+
+	span("merge", KindPhase, 0.9, simtime.Work{MergeOps: 4000})
+	return r, clock
+}
+
+// validateChrome structurally checks a Chrome trace-event JSON blob the
+// way Perfetto's importer would: timestamps sorted, every "B" matched
+// by an "E" on the same (pid, tid) in LIFO order, instants carrying a
+// scope, and metadata naming every track that has events.
+func validateChrome(t *testing.T, data []byte) {
+	t.Helper()
+	var tr struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			S    string  `json:"s"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+	named := map[[2]int]bool{}
+	lastTs := math.Inf(-1)
+	type frame struct{ name string }
+	stacks := map[[2]int][]frame{}
+	for i, e := range tr.TraceEvents {
+		if e.Ph != "M" {
+			if e.Ts < lastTs {
+				t.Fatalf("event %d (%s %q) ts %g < previous %g", i, e.Ph, e.Name, e.Ts, lastTs)
+			}
+			lastTs = e.Ts
+		}
+		track := [2]int{e.Pid, e.Tid}
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				named[track] = true
+			}
+		case "B":
+			stacks[track] = append(stacks[track], frame{e.Name})
+		case "E":
+			st := stacks[track]
+			if len(st) == 0 {
+				t.Fatalf("event %d: E %q on pid %d tid %d with empty stack", i, e.Name, e.Pid, e.Tid)
+			}
+			top := st[len(st)-1]
+			if top.name != e.Name {
+				t.Fatalf("event %d: E %q does not match open B %q on pid %d tid %d",
+					i, e.Name, top.name, e.Pid, e.Tid)
+			}
+			stacks[track] = st[:len(st)-1]
+		case "i":
+			if e.S == "" {
+				t.Fatalf("event %d: instant %q missing scope", i, e.Name)
+			}
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, e.Ph)
+		}
+		if e.Ph != "M" && !named[track] {
+			t.Errorf("event %d (%s %q) on unnamed track pid %d tid %d", i, e.Ph, e.Name, e.Pid, e.Tid)
+		}
+	}
+	for track, st := range stacks {
+		if len(st) != 0 {
+			t.Fatalf("track %v has %d unclosed spans (first %q)", track, len(st), st[0].name)
+		}
+	}
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	r, _ := testRecorder(t)
+	data, err := r.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	validateChrome(t, data)
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	r1, _ := testRecorder(t)
+	r2, _ := testRecorder(t)
+	d1, err := r1.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := r2.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("ChromeJSON not byte-identical across identical recordings")
+	}
+	var m1, m2 bytes.Buffer
+	if err := r1.WriteMetrics(&m1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteMetrics(&m2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m1.Bytes(), m2.Bytes()) {
+		t.Fatal("metrics JSON not byte-identical across identical recordings")
+	}
+}
+
+// TestCriticalPathTiles pins the analyzer's core identity: segments
+// exactly tile [0, total] — contiguous, non-overlapping, and summing to
+// the recorded driver + executor time.
+func TestCriticalPathTiles(t *testing.T) {
+	r, total := testRecorder(t)
+	segs := r.CriticalPath()
+	if len(segs) == 0 {
+		t.Fatal("empty critical path")
+	}
+	cur := 0.0
+	var sum float64
+	for i, s := range segs {
+		if math.Abs(s.Start-cur) > 1e-9 {
+			t.Fatalf("segment %d (%s) starts at %g, previous ended at %g", i, s.Name, s.Start, cur)
+		}
+		if s.End < s.Start {
+			t.Fatalf("segment %d (%s) ends before it starts", i, s.Name)
+		}
+		if math.Abs(s.Seconds-(s.End-s.Start)) > 1e-12 {
+			t.Fatalf("segment %d (%s) Seconds %g != End-Start %g", i, s.Name, s.Seconds, s.End-s.Start)
+		}
+		cur = s.End
+		sum += s.Seconds
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("critical path sums to %g, timeline total is %g", sum, total)
+	}
+
+	m := r.Metrics()
+	if math.Abs(m.Totals.CriticalPathSeconds-m.Totals.TotalSeconds) > 1e-9 {
+		t.Fatalf("metrics: critical path %g != total %g",
+			m.Totals.CriticalPathSeconds, m.Totals.TotalSeconds)
+	}
+}
+
+// TestCriticalPathExplainsFailures: a stage whose critical task had
+// failed attempts must surface them (and their backoffs) as segments.
+func TestCriticalPathExplainsFailures(t *testing.T) {
+	r := NewRecorder()
+	tasks := []vcluster.Task{
+		{ID: 0, Seconds: 0.2},
+		{ID: 1, Seconds: 1.0, FailedAttempts: []float64{0.5, 0.5}},
+	}
+	sched := vcluster.Run(tasks, vcluster.Options{Cores: 2, RetryBackoff: 0.25, StragglerFrac: -1})
+	r.RecordStage(StageRecord{ID: 0, Name: "s", Start: 0, Cores: 2, CoresPerExecutor: 2,
+		Sched: &sched, TaskWork: make([]simtime.Work, 2), Commits: make([]int, 2)})
+	kinds := map[string]int{}
+	for _, s := range r.CriticalPath() {
+		kinds[s.Kind]++
+	}
+	if kinds["failed_attempt"] != 2 {
+		t.Fatalf("expected 2 failed_attempt segments, got %d (%v)", kinds["failed_attempt"], kinds)
+	}
+	if kinds["backoff"] != 2 {
+		t.Fatalf("expected 2 backoff segments, got %d (%v)", kinds["backoff"], kinds)
+	}
+	if kinds["task"] != 1 {
+		t.Fatalf("expected 1 task segment, got %d (%v)", kinds["task"], kinds)
+	}
+}
+
+// TestMetricsAccounting cross-checks the snapshot against the schedule
+// it was built from.
+func TestMetricsAccounting(t *testing.T) {
+	r, _ := testRecorder(t)
+	m := r.Metrics()
+	if len(m.Stages) != 1 || len(m.Driver) != 4 {
+		t.Fatalf("expected 1 stage + 4 driver phases, got %d + %d", len(m.Stages), len(m.Driver))
+	}
+	st := m.Stages[0]
+	if st.FailedAttempts == 0 || st.RetrySeconds <= 0 {
+		t.Fatalf("faulty stage reports no failures: %+v", st)
+	}
+	if st.Utilization <= 0 || st.Utilization > 1 {
+		t.Fatalf("utilization %g out of (0, 1]", st.Utilization)
+	}
+	if st.Stretch.Max < st.Stretch.Min || st.Stretch.Min <= 0 {
+		t.Fatalf("bad stretch distribution: %+v", st.Stretch)
+	}
+	var busy float64
+	tasksSeen := 0
+	for _, e := range st.Executors {
+		busy += e.BusySeconds
+		tasksSeen += e.Tasks
+	}
+	if tasksSeen != st.Tasks {
+		t.Fatalf("executors account for %d tasks, stage ran %d", tasksSeen, st.Tasks)
+	}
+	wantCommits := 0
+	for i := 0; i < 16; i++ {
+		wantCommits += 1 + i%2
+	}
+	if st.Commits != wantCommits {
+		t.Fatalf("commits %d, want %d", st.Commits, wantCommits)
+	}
+	var work simtime.Work
+	for _, e := range st.Executors {
+		work.Add(e.Work)
+	}
+	if work != st.Work {
+		t.Fatalf("per-executor work %+v does not sum to stage work %+v", work, st.Work)
+	}
+}
+
+// TestStorageEventAttribution: a watched filesystem's events land on
+// the span recorded after the reads, in canonical order.
+func TestStorageEventAttribution(t *testing.T) {
+	fs := hdfs.NewCluster(64, 3, 6)
+	if err := fs.Write("input", bytes.Repeat([]byte("a"), 64*8), nil); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultProfile(&hdfs.StorageFaultProfile{Seed: 11, CorruptRate: 0.5, DatanodeCrashRate: 0.4})
+
+	r := NewRecorder()
+	r.WatchFS(fs)
+	if _, err := fs.Read("input", nil); err != nil {
+		t.Fatal(err)
+	}
+	r.RecordDriverSpan("read", KindPhase, 0, 1, simtime.Work{})
+	r.RecordDriverSpan("idle", KindPhase, 1, 1, simtime.Work{})
+
+	items := r.timeline()
+	if len(items[0].driver.Storage) == 0 {
+		t.Fatal("read span captured no storage events")
+	}
+	if len(items[1].driver.Storage) != 0 {
+		t.Fatal("second span captured events that belong to the first")
+	}
+	evs := items[0].driver.Storage
+	for i := 1; i < len(evs); i++ {
+		a, b := evs[i-1], evs[i]
+		if a.File > b.File || (a.File == b.File && a.Block > b.Block) {
+			t.Fatalf("events not canonically sorted at %d: %+v > %+v", i, a, b)
+		}
+	}
+}

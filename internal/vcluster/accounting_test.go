@@ -1,0 +1,135 @@
+package vcluster
+
+import (
+	"math"
+	"testing"
+)
+
+// accountingOptions is a grid of scheduling configurations heavy enough
+// to exercise every accounting path: retry histories, backoffs,
+// executor crashes with restart warm-ups, blacklisting, speculation and
+// straggler stretch.
+func accountingOptions() []Options {
+	return []Options{
+		{Cores: 1},
+		{Cores: 4, StragglerFrac: 0.25, Seed: 7, LaunchOverhead: 0.015},
+		{Cores: 8, CoresPerExecutor: 2, RetryBackoff: 0.1, StragglerFrac: 0.25, Seed: 42},
+		{Cores: 8, CoresPerExecutor: 2, RetryBackoff: 0.1, StragglerFrac: 0.25, Seed: 42,
+			CrashedExecutors: []int{1, 3}, RestartWarmup: 0.2},
+		{Cores: 12, CoresPerExecutor: 4, RetryBackoff: 0.05, StragglerFrac: 0.5, Seed: 9,
+			CrashedExecutors: []int{0}, BlacklistedExecutors: []int{2},
+			RestartWarmup: 0.1, WarmupPerCore: 0.3},
+		{Cores: 6, StragglerFrac: 2.0, Seed: 13, Speculation: true},
+	}
+}
+
+func accountingTasks(n int) []Task {
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = Task{ID: i, Seconds: 0.5 + 0.1*float64(i%5)}
+		if i%3 == 0 {
+			tasks[i].FailedAttempts = []float64{0.2, 0.35}
+		}
+		if i%7 == 0 {
+			tasks[i].SlowFactor = 3
+		}
+	}
+	return tasks
+}
+
+// TestScheduleAccountingConservation pins the bookkeeping identities
+// every consumer of a Schedule (reports, metrics, the trace exporter)
+// relies on: failed-attempt core time sums to RetrySeconds, per-executor
+// failure counts sum to FailedAttempts, and the slowest core's finish is
+// the makespan.
+func TestScheduleAccountingConservation(t *testing.T) {
+	for oi, opts := range accountingOptions() {
+		s := Run(accountingTasks(24), opts)
+
+		var retry float64
+		failed := 0
+		for _, a := range s.Assignments {
+			if a.Failed {
+				retry += a.Finish - a.Start
+				failed++
+			}
+		}
+		if math.Abs(retry-s.RetrySeconds) > 1e-9 {
+			t.Errorf("opts[%d]: sum of failed durations %g != RetrySeconds %g",
+				oi, retry, s.RetrySeconds)
+		}
+		if failed != s.FailedAttempts {
+			t.Errorf("opts[%d]: %d failed assignments != FailedAttempts %d",
+				oi, failed, s.FailedAttempts)
+		}
+
+		execSum := 0
+		for _, n := range s.ExecutorFailures {
+			execSum += n
+		}
+		if execSum != s.FailedAttempts {
+			t.Errorf("opts[%d]: ExecutorFailures sum %d != FailedAttempts %d",
+				oi, execSum, s.FailedAttempts)
+		}
+
+		maxFinish := 0.0
+		for _, f := range s.CoreFinish {
+			if f > maxFinish {
+				maxFinish = f
+			}
+		}
+		if maxFinish != s.Makespan {
+			t.Errorf("opts[%d]: max CoreFinish %g != Makespan %g",
+				oi, maxFinish, s.Makespan)
+		}
+
+		// Backoff spans must re-add to BackoffSeconds, and every failed
+		// assignment must have left one (backoff windows are how the
+		// critical-path analyzer explains retry gaps).
+		var backoff float64
+		for _, b := range s.Backoffs {
+			backoff += b.Finish - b.Start
+		}
+		if math.Abs(backoff-s.BackoffSeconds) > 1e-9 {
+			t.Errorf("opts[%d]: sum of backoff spans %g != BackoffSeconds %g",
+				oi, backoff, s.BackoffSeconds)
+		}
+		if len(s.Backoffs) != s.FailedAttempts {
+			t.Errorf("opts[%d]: %d backoff spans for %d failed attempts",
+				oi, len(s.Backoffs), s.FailedAttempts)
+		}
+		if len(s.Crashes) != s.Restarts {
+			t.Errorf("opts[%d]: %d crash events for %d restarts",
+				oi, len(s.Crashes), s.Restarts)
+		}
+	}
+}
+
+// TestScheduleTimelineDetailDeterministic pins that the observability
+// fields are a pure function of (tasks, options) like the rest of the
+// schedule.
+func TestScheduleTimelineDetailDeterministic(t *testing.T) {
+	opts := Options{Cores: 8, CoresPerExecutor: 2, RetryBackoff: 0.1,
+		StragglerFrac: 0.25, Seed: 42, CrashedExecutors: []int{1}, RestartWarmup: 0.2}
+	a := Run(accountingTasks(24), opts)
+	b := Run(accountingTasks(24), opts)
+	if len(a.Backoffs) != len(b.Backoffs) || len(a.Crashes) != len(b.Crashes) ||
+		len(a.RestartWarmups) != len(b.RestartWarmups) {
+		t.Fatalf("timeline detail differs across identical runs")
+	}
+	for i := range a.Backoffs {
+		if a.Backoffs[i] != b.Backoffs[i] {
+			t.Fatalf("backoff %d differs: %+v vs %+v", i, a.Backoffs[i], b.Backoffs[i])
+		}
+	}
+	for i := range a.Crashes {
+		if a.Crashes[i] != b.Crashes[i] {
+			t.Fatalf("crash %d differs", i)
+		}
+	}
+	for i := range a.RestartWarmups {
+		if a.RestartWarmups[i] != b.RestartWarmups[i] {
+			t.Fatalf("restart warmup %d differs", i)
+		}
+	}
+}

@@ -60,10 +60,3 @@ func (s Schedule) Gantt(width int) string {
 	fmt.Fprintf(&sb, "          0%sT=%.2fs\n", strings.Repeat(" ", max(0, width-12)), s.Makespan)
 	return sb.String()
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -121,6 +121,38 @@ type Assignment struct {
 	Stretch float64 // straggler multiplier applied
 	Attempt int     // 0-based attempt index for this task
 	Failed  bool    // the attempt died (retry history or executor crash)
+	// Speculated marks an assignment whose surviving attempt is a
+	// speculative clone (the original straggler was killed when the
+	// clone finished first). Start still records the original
+	// attempt's launch; CloneStart is when the winning clone launched
+	// on Core — the interval the clone actually occupied is
+	// [CloneStart, Finish].
+	Speculated bool
+	CloneStart float64
+}
+
+// BackoffSpan is one scheduler-delay window between a failed attempt
+// and the moment its retry became launchable.
+type BackoffSpan struct {
+	TaskID  int
+	Attempt int     // the failed attempt the backoff follows
+	Core    int     // core the failed attempt ran on
+	Start   float64 // failure time
+	Finish  float64 // Start + RetryBackoff
+}
+
+// CrashEvent records one executor crash.
+type CrashEvent struct {
+	Executor int
+	Core     int // core of the attempt that triggered the crash
+	Time     float64
+}
+
+// WarmupSpan is one restart warm-up interval: a replacement executor's
+// core re-deserializing the live broadcasts before taking new work.
+type WarmupSpan struct {
+	Core          int
+	Start, Finish float64
 }
 
 // Schedule is the outcome of scheduling a task set.
@@ -147,6 +179,18 @@ type Schedule struct {
 	// Restarts counts executor crashes that were repaired by a
 	// replacement (each re-paying RestartWarmup on every core).
 	Restarts int
+
+	// The fields below are pure timeline detail for observability (the
+	// trace recorder and the Gantt renderer); they add no accounting of
+	// their own. Warmup echoes Options.WarmupPerCore; UsableCores lists
+	// the non-blacklisted core ids ascending; Backoffs, Crashes and
+	// RestartWarmups locate every retry-backoff window, executor crash
+	// and restart warm-up interval on the simulated timeline.
+	Warmup         float64
+	UsableCores    []int
+	Backoffs       []BackoffSpan
+	Crashes        []CrashEvent
+	RestartWarmups []WarmupSpan
 }
 
 type coreHeap struct {
@@ -226,6 +270,8 @@ func Run(tasks []Task, opts Options) Schedule {
 		CoreFinish:       make([]float64, opts.Cores),
 		Assignments:      make([]Assignment, 0, len(tasks)),
 		ExecutorFailures: make([]int, numExec),
+		Warmup:           opts.WarmupPerCore,
+		UsableCores:      append([]int(nil), usable...),
 	}
 	crashPending := make([]bool, numExec)
 	for _, e := range opts.CrashedExecutors {
@@ -289,6 +335,10 @@ func Run(tasks []Task, opts Options) Schedule {
 				sched.ExecutorFailures[core/cpe]++
 				ready = finish + opts.RetryBackoff
 				sched.BackoffSeconds += opts.RetryBackoff
+				sched.Backoffs = append(sched.Backoffs, BackoffSpan{
+					TaskID: t.ID, Attempt: a, Core: core,
+					Start: finish, Finish: finish + opts.RetryBackoff,
+				})
 			}
 		}
 
@@ -312,6 +362,9 @@ func Run(tasks []Task, opts Options) Schedule {
 			crashPending[e] = false
 			sched.Restarts++
 			crashTime := start + crashFrac*dur
+			sched.Crashes = append(sched.Crashes, CrashEvent{
+				Executor: e, Core: core, Time: crashTime,
+			})
 			lastAsg[core] = len(sched.Assignments)
 			sched.Assignments = append(sched.Assignments, Assignment{
 				Task: t, Core: core, Start: start, Finish: crashTime,
@@ -322,6 +375,10 @@ func Run(tasks []Task, opts Options) Schedule {
 			sched.ExecutorFailures[e]++
 			queue = append(queue, workItem{t: t, ready: crashTime + opts.RetryBackoff, redo: true})
 			sched.BackoffSeconds += opts.RetryBackoff
+			sched.Backoffs = append(sched.Backoffs, BackoffSpan{
+				TaskID: t.ID, Attempt: a, Core: core,
+				Start: crashTime, Finish: crashTime + opts.RetryBackoff,
+			})
 
 			for i := 0; i < h.Len(); i++ {
 				c2 := h.id[i]
@@ -351,6 +408,10 @@ func Run(tasks []Task, opts Options) Schedule {
 				sched.ExecutorFailures[e]++
 				queue = append(queue, workItem{t: v.Task, ready: crashTime + opts.RetryBackoff, redo: true})
 				sched.BackoffSeconds += opts.RetryBackoff
+				sched.Backoffs = append(sched.Backoffs, BackoffSpan{
+					TaskID: v.Task.ID, Attempt: v.Attempt, Core: c2,
+					Start: crashTime, Finish: crashTime + opts.RetryBackoff,
+				})
 			}
 			// The replacement executor re-pays the broadcast warm-up
 			// on every core before taking new work.
@@ -363,6 +424,11 @@ func Run(tasks []Task, opts Options) Schedule {
 					f = crashTime
 				}
 				h.free[i] = f + opts.RestartWarmup
+				if opts.RestartWarmup > 0 {
+					sched.RestartWarmups = append(sched.RestartWarmups, WarmupSpan{
+						Core: h.id[i], Start: f, Finish: f + opts.RestartWarmup,
+					})
+				}
 			}
 			heap.Init(h)
 			continue
@@ -456,7 +522,8 @@ func speculate(h *coreHeap, sched *Schedule, opts Options, usable []int) {
 		if opts.StragglerFrac > 0 {
 			stretch = 1 + opts.StragglerFrac*(-math.Log(1-u))/2
 		}
-		cloneFinish := free[clone] + a.Task.Seconds*stretch + opts.LaunchOverhead
+		cloneStart := free[clone]
+		cloneFinish := cloneStart + a.Task.Seconds*stretch + opts.LaunchOverhead
 		if cloneFinish < a.Finish {
 			// Clone wins; the original attempt is killed immediately,
 			// freeing its core (only if the original was that core's
@@ -468,6 +535,8 @@ func speculate(h *coreHeap, sched *Schedule, opts Options, usable []int) {
 			a.Finish = cloneFinish
 			a.Core = clone
 			a.Stretch = stretch
+			a.Speculated = true
+			a.CloneStart = cloneStart
 		} else {
 			// Original wins; the clone is killed when it does.
 			free[clone] = a.Finish
