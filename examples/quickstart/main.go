@@ -47,18 +47,19 @@ func main() {
 
 	fmt.Printf("found %d clusters, %d noise points (of %d)\n",
 		res.NumClusters, res.NumNoise, ds.Len())
-	for id, size := range res.ClusterSizes() {
-		// Locate each cluster by averaging its members.
-		var cx, cy float64
-		members := res.Members(int32(id))
-		for _, m := range members {
-			p := ds.At(m)
-			cx += p[0]
-			cy += p[1]
+	// Locate each cluster by averaging its members: one LabelOf pass
+	// over the points instead of a Members scan per cluster.
+	sums := make([][2]float64, res.NumClusters)
+	for pi := int32(0); int(pi) < ds.Len(); pi++ {
+		if id := res.LabelOf(pi); id != sparkdbscan.Noise {
+			p := ds.At(pi)
+			sums[id][0] += p[0]
+			sums[id][1] += p[1]
 		}
-		cx /= float64(len(members))
-		cy /= float64(len(members))
-		fmt.Printf("  cluster %d: %4d points around (%.1f, %.1f)\n", id, size, cx, cy)
+	}
+	for id, size := range res.ClusterSizes() {
+		fmt.Printf("  cluster %d: %4d points around (%.1f, %.1f)\n",
+			id, size, sums[id][0]/float64(size), sums[id][1]/float64(size))
 	}
 	fmt.Printf("\ntiming: %.2fs in executors, %.2fs in the driver\n",
 		res.Timing.Executors, res.Timing.Driver())

@@ -1,0 +1,149 @@
+// Serving: turn a finished clustering into an online classification
+// service. Clustering is a batch job; this example freezes its result
+// into an immutable snapshot, serves concurrent point-assignment
+// queries against it, hot-swaps a re-clustered model under live load,
+// and shows backpressure shedding excess demand instead of queueing it
+// without bound.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparkdbscan"
+)
+
+func blobs(rng *rand.Rand, n int) *sparkdbscan.Dataset {
+	centers := [][2]float64{{20, 20}, {70, 25}, {45, 75}}
+	ds := sparkdbscan.NewDataset(n, 2)
+	for i := int32(0); int(i) < n; i++ {
+		c := centers[int(i)%len(centers)]
+		ds.Set(i, []float64{
+			c[0] + rng.NormFloat64()*3,
+			c[1] + rng.NormFloat64()*3,
+		})
+	}
+	return ds
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	ds := blobs(rng, 3000)
+
+	// Batch phase: cluster on a 4-core virtual cluster, then freeze the
+	// result into an immutable, concurrency-safe snapshot. Freeze
+	// re-derives the core-point set from the data, so it works for
+	// distributed results, which keep only labels.
+	res, err := sparkdbscan.Cluster(ds, sparkdbscan.Config{Eps: 2.5, MinPts: 8, Cores: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := sparkdbscan.Freeze(ds, res, 2.5, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frozen: %d points, %d clusters, %d core points\n",
+		model.NumPoints(), model.NumClusters(), model.NumCore())
+
+	// A snapshot answers queries directly — useful for tests and
+	// single-threaded embedding.
+	a := model.Assign([]float64{20, 20})
+	fmt.Printf("direct query (20,20): cluster %d, would be core: %v\n", a.Cluster, a.Core)
+	a = model.Assign([]float64{50, 50})
+	fmt.Printf("direct query (50,50): cluster %d (noise)\n", a.Cluster)
+
+	// Serving phase: a worker pool with micro-batching and a bounded
+	// admission queue. Any number of goroutines may call Assign.
+	srv := sparkdbscan.NewServer(model, sparkdbscan.ServeOptions{Workers: 4})
+	defer srv.Close()
+
+	var served, swapped atomic.Uint64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := []float64{r.Float64() * 100, r.Float64() * 100}
+				a, err := srv.Assign(context.Background(), q)
+				if err != nil {
+					continue
+				}
+				served.Add(1)
+				if a.Generation > 1 {
+					swapped.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	// Hot-swap under load: re-cluster with a looser eps and swap the
+	// new snapshot in. In-flight batches finish on the model they
+	// loaded; every later answer carries the new generation. Queries
+	// are never paused and never see a half-swapped state.
+	time.Sleep(20 * time.Millisecond)
+	res2, err := sparkdbscan.Cluster(ds, sparkdbscan.Config{Eps: 4, MinPts: 8, Cores: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model2, err := sparkdbscan.Freeze(ds, res2, 4, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := srv.Swap(model2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	fmt.Printf("served %d queries across the swap; %d answered by generation %d\n",
+		served.Load(), swapped.Load(), gen)
+
+	st := srv.Stats()
+	fmt.Printf("latency p50 %v, p99 %v; mean batch %.1f\n",
+		st.LatencyP50, st.LatencyP99, st.MeanBatch)
+
+	// Backpressure: a server with a tiny admission queue and a strict
+	// queue-delay budget sheds excess demand with ErrOverloaded instead
+	// of letting every response time grow without bound.
+	tiny := sparkdbscan.NewServer(model2, sparkdbscan.ServeOptions{
+		Workers:       1,
+		QueueCap:      4,
+		MaxQueueDelay: 100 * time.Microsecond,
+	})
+	defer tiny.Close()
+	var ok, shed atomic.Uint64
+	var burst sync.WaitGroup
+	for i := 0; i < 256; i++ {
+		burst.Add(1)
+		go func(i int) {
+			defer burst.Done()
+			_, err := tiny.Assign(context.Background(), ds.At(int32(i)))
+			switch {
+			case err == nil:
+				ok.Add(1)
+			case errors.Is(err, sparkdbscan.ErrOverloaded):
+				shed.Add(1)
+			}
+		}(i)
+	}
+	burst.Wait()
+	fmt.Printf("burst of 256 against a 4-slot queue: %d answered, %d shed\n",
+		ok.Load(), shed.Load())
+}

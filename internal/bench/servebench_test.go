@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestServeBenchWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serve.json")
+	var out bytes.Buffer
+	if err := RunServeBench(&out, path, 2000, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "closed") || !strings.Contains(out.String(), "open") {
+		t.Fatalf("table output missing arms:\n%s", out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ServeBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Smoke || rep.Points != 2000 || rep.NumClusters == 0 || rep.NumCore == 0 {
+		t.Fatalf("implausible report header: %+v", rep)
+	}
+	// Smoke sweeps workers {1, 4} × batch {1, 32}.
+	if len(rep.Closed) != 4 {
+		t.Fatalf("want 4 closed-loop cells, got %d", len(rep.Closed))
+	}
+	for _, c := range rep.Closed {
+		if c.Completed == 0 || c.QPS <= 0 || c.MeanBatch < 1 {
+			t.Fatalf("empty closed-loop cell: %+v", c)
+		}
+		if c.BatchCap == 1 && c.SpeedupVsUnbatched != 1 {
+			t.Fatalf("unbatched cell not its own baseline: %+v", c)
+		}
+		if c.BatchCap > 1 && c.SpeedupVsUnbatched <= 0 {
+			t.Fatalf("batched cell missing speedup: %+v", c)
+		}
+	}
+	if len(rep.Open) != 2 {
+		t.Fatalf("want 2 open-loop cells, got %d", len(rep.Open))
+	}
+	for _, c := range rep.Open {
+		if c.TargetQPS <= 0 || c.Issued == 0 {
+			t.Fatalf("empty open-loop cell: %+v", c)
+		}
+	}
+}

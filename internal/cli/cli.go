@@ -6,6 +6,7 @@ package cli
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"sparkdbscan/internal/geom"
 	"sparkdbscan/internal/kdtree"
 	"sparkdbscan/internal/quest"
+	"sparkdbscan/internal/serve"
 	"sparkdbscan/internal/spark"
 	"sparkdbscan/internal/trace"
 
@@ -95,6 +97,8 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		traceOut   = fs.String("trace", "", "write a Chrome/Perfetto trace of the simulated run to this JSON file")
 		metricsOut = fs.String("metrics", "", "write the metrics snapshot (incl. critical path) to this JSON file")
 		gantt      = fs.Bool("gantt", false, "print a per-core ASCII Gantt chart of every executor stage")
+
+		serveDemo = fs.Bool("serve-demo", false, "after clustering, freeze a serving snapshot and answer a few sample queries through a live server")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +119,7 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	}
 
 	var labels []int32
+	var coreFlags []bool // sequential runs know the core points; Freeze re-derives otherwise
 	numClusters, numNoise, partials := 0, 0, 0
 	var timing coredbscan.Phases
 	params := dbscan.Params{Eps: *eps, MinPts: *minPts}
@@ -124,6 +129,7 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 			return err
 		}
 		labels, numClusters, numNoise = res.Labels, res.NumClusters, res.NumNoise
+		coreFlags = res.Core
 	} else {
 		mode := spark.Virtual
 		if *real {
@@ -186,6 +192,12 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	}
 	printClusterSizes(stdout, labels, numClusters)
 
+	if *serveDemo {
+		if err := runServeDemo(stdout, ds, labels, coreFlags, params); err != nil {
+			return fmt.Errorf("dbscan: serve demo: %w", err)
+		}
+	}
+
 	if *out != "" {
 		if err := writeLabels(labels, *out); err != nil {
 			return err
@@ -218,12 +230,19 @@ func RunBench(args []string, stdout io.Writer) error {
 		traceOut    = fs.String("trace", "", "run one traced faulty job, write its Chrome/Perfetto trace to this path, and exit")
 		metricsOut  = fs.String("metrics", "", "with or instead of -trace: write the traced job's metrics snapshot to this path")
 		tracepoints = fs.Int("tracepoints", 4000, "dataset points for -trace/-metrics")
+
+		servebench  = fs.String("servebench", "", "run the online-serving benchmark, write JSON to this path (e.g. BENCH_serve.json), and exit")
+		servepoints = fs.Int("servepoints", 20000, "dataset points for -servebench")
+		smoke       = fs.Bool("smoke", false, "shrink -servebench to a seconds-long CI smoke run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceOut != "" || *metricsOut != "" {
 		return bench.RunTraceBench(stdout, *traceOut, *metricsOut, *tracepoints)
+	}
+	if *servebench != "" {
+		return bench.RunServeBench(stdout, *servebench, *servepoints, *smoke)
 	}
 	if *kdbench != "" {
 		return bench.RunKDBench(stdout, *kdbench, *kdreps)
@@ -286,6 +305,50 @@ func RunBench(args []string, stdout io.Writer) error {
 }
 
 // ---- helpers ----
+
+// runServeDemo is the -serve-demo smoke path: freeze the clustering
+// just computed into an immutable snapshot, stand up a live serving
+// pool, answer a few in-distribution probes plus one far-away probe
+// (which must come back noise), and print the serving stats.
+func runServeDemo(stdout io.Writer, ds *geom.Dataset, labels []int32, core []bool, p dbscan.Params) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("empty dataset")
+	}
+	model, err := serve.Freeze(ds, labels, core, nil, p)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(model, serve.Options{})
+	defer srv.Close()
+	fmt.Fprintf(stdout, "\nserving demo: snapshot of %d points, %d clusters, %d core points\n",
+		model.NumPoints(), model.NumClusters(), model.NumCore())
+	n := ds.Len()
+	for _, i := range []int32{0, int32(n / 2), int32(n - 1)} {
+		a, err := srv.Assign(context.Background(), ds.At(i))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  point %d -> cluster %d (core %v, generation %d)\n", i, a.Cluster, a.Core, a.Generation)
+	}
+	far := make([]float64, ds.Dim)
+	for _, v := range ds.Coords {
+		if v > far[0] {
+			far[0] = v
+		}
+	}
+	for j := range far {
+		far[j] = far[0] + 100*p.Eps
+	}
+	a, err := srv.Assign(context.Background(), far)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "  far-away probe -> cluster %d (core %v)\n", a.Cluster, a.Core)
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "  served %d queries in %d batches, p50 latency %s\n",
+		st.Completed, st.Batches, st.LatencyP50)
+	return nil
+}
 
 // writeExport creates path and streams one of the trace exports to it.
 func writeExport(path string, write func(io.Writer) error) error {

@@ -253,3 +253,51 @@ func TestBenchTraceBench(t *testing.T) {
 		t.Fatalf("metrics missing: %v", err)
 	}
 }
+
+func TestDBSCANServeDemo(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := RunDatagen([]string{"-dataset", "c10k", "-scale", "0.2", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "c10k.txt")
+
+	// Sequential path hands its core flags to Freeze directly.
+	out.Reset()
+	err := RunDBSCAN([]string{"-in", in, "-eps", "25", "-minpts", "5", "-serve-demo"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"serving demo", "far-away probe -> cluster -1", "p50 latency"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+
+	// Distributed path has no core flags; Freeze re-derives them.
+	out.Reset()
+	err = RunDBSCAN([]string{"-in", in, "-eps", "25", "-minpts", "5", "-cores", "4", "-serve-demo"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "serving demo") {
+		t.Fatalf("distributed serve demo missing:\n%s", out.String())
+	}
+}
+
+func TestBenchServeBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var out bytes.Buffer
+	err := RunBench([]string{"-servebench", path, "-servepoints", "2000", "-smoke"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	for _, col := range []string{"workers", "mean batch", "vs unbatched", "target qps", "shed %"} {
+		if !strings.Contains(out.String(), col) {
+			t.Fatalf("output lacks %q:\n%s", col, out.String())
+		}
+	}
+}

@@ -761,15 +761,27 @@ func (t *Tree) search(q []float64, eps float64, max int, out []int32, stats *Sea
 	return out
 }
 
-// radiusIter is the iterative range search: pop a node, skip it if its
-// bbox misses the query ball, report its whole order range if the bbox
-// sits inside the ball, otherwise scan (leaf) or descend (internal).
-// The near child is pushed last so it is explored first, which lets
-// RadiusLimit fill up with close neighbours before the cap triggers.
+// radiusIter is the single-query range search entry: it narrows the
+// query, derives its certainty band, and hands off to radiusScan.
 func (t *Tree) radiusIter(q []float64, eps2 float64, max int, out []int32, stats *SearchStats) []int32 {
 	var q32buf [maxKernelDim]float32
 	q32, qMax := t.narrowQuery(q, &q32buf)
 	band := t.epsBand(len(q), eps2, qMax)
+	return t.radiusScan(q, q32, eps2, band, max, out, stats)
+}
+
+// radiusScan is the iterative range search: pop a node, skip it if its
+// bbox misses the query ball, report its whole order range if the bbox
+// sits inside the ball, otherwise scan (leaf) or descend (internal).
+// The near child is pushed last so it is explored first, which lets
+// RadiusLimit fill up with close neighbours before the cap triggers.
+// The caller supplies the narrowed query (nil routes leaves to the
+// exact path) and the certainty band; RadiusBatch reuses one band for
+// a whole batch of queries.
+func (t *Tree) radiusScan(q []float64, q32 []float32, eps2, band float64, max int, out []int32, stats *SearchStats) []int32 {
+	if t.root < 0 {
+		return out
+	}
 	sLo, sHi := eps2-band, eps2+band
 	var stack [maxDepth]int32
 	stack[0] = t.root

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparkdbscan/internal/geom"
+)
+
+// Workload is a bank of query points the load generators cycle
+// through: flat row-major coordinates, Dim per query.
+type Workload struct {
+	Coords []float64
+	Dim    int
+}
+
+// DatasetWorkload queries the model with the dataset's own points —
+// the executor loop's access pattern, and the serving-time common case
+// of scoring points drawn from the clustered distribution.
+func DatasetWorkload(ds *geom.Dataset) Workload {
+	return Workload{Coords: ds.Coords, Dim: ds.Dim}
+}
+
+// N returns the number of queries in the bank.
+func (w Workload) N() int {
+	if w.Dim == 0 {
+		return 0
+	}
+	return len(w.Coords) / w.Dim
+}
+
+// At returns query i's coordinates (a view; do not mutate).
+func (w Workload) At(i int) []float64 {
+	base := i * w.Dim
+	return w.Coords[base : base+w.Dim : base+w.Dim]
+}
+
+// LoadReport summarizes one load-generation run. Latency distributions
+// live in the server's own Stats; the generator reports the demand
+// side: what was issued and how each query ended.
+type LoadReport struct {
+	Mode      string        `json:"mode"` // "closed" or "open"
+	Clients   int           `json:"clients,omitempty"`
+	TargetQPS float64       `json:"target_qps,omitempty"`
+	Duration  time.Duration `json:"duration_ns"`
+	Issued    uint64        `json:"issued"`
+	Completed uint64        `json:"completed"`
+	Shed      uint64        `json:"shed"`
+	Canceled  uint64        `json:"canceled"`
+	Errored   uint64        `json:"errored"`
+	// AchievedQPS is completed queries per wall-clock second.
+	AchievedQPS float64 `json:"achieved_qps"`
+}
+
+type loadCounters struct {
+	completed, shed, canceled, errored atomic.Uint64
+}
+
+func (c *loadCounters) record(err error) {
+	switch {
+	case err == nil:
+		c.completed.Add(1)
+	case errors.Is(err, ErrOverloaded):
+		c.shed.Add(1)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		c.canceled.Add(1)
+	default:
+		c.errored.Add(1)
+	}
+}
+
+func (c *loadCounters) report(mode string, issued uint64, elapsed time.Duration) LoadReport {
+	r := LoadReport{
+		Mode:      mode,
+		Duration:  elapsed,
+		Issued:    issued,
+		Completed: c.completed.Load(),
+		Shed:      c.shed.Load(),
+		Canceled:  c.canceled.Load(),
+		Errored:   c.errored.Load(),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		r.AchievedQPS = float64(r.Completed) / sec
+	}
+	return r
+}
+
+// ClosedLoop measures capacity: clients goroutines issue queries
+// back-to-back (each waits for its answer before sending the next) for
+// duration d. Throughput is bounded by the server; adding clients
+// raises concurrency, not offered load per client.
+func ClosedLoop(s *Server, w Workload, clients int, d time.Duration) LoadReport {
+	if clients < 1 {
+		clients = 1
+	}
+	var c loadCounters
+	var issued atomic.Uint64
+	start := time.Now()
+	deadline := start.Add(d)
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := w.N()
+			for i := g; time.Now().Before(deadline); i += clients {
+				issued.Add(1)
+				_, err := s.Assign(context.Background(), w.At(i%n))
+				c.record(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	rep := c.report("closed", issued.Load(), time.Since(start))
+	rep.Clients = clients
+	return rep
+}
+
+// OpenLoop measures behaviour under a fixed offered load: queries
+// arrive at qps per second regardless of how fast answers come back
+// (each in its own goroutine), which is what exposes queueing delay
+// and shedding — a closed loop self-throttles and cannot overload the
+// server. Arrivals the pacer falls behind on are issued in a burst,
+// preserving the offered rate.
+func OpenLoop(s *Server, w Workload, qps float64, d time.Duration) LoadReport {
+	if qps <= 0 || w.N() == 0 {
+		return LoadReport{Mode: "open", TargetQPS: qps}
+	}
+	var c loadCounters
+	var wg sync.WaitGroup
+	start := time.Now()
+	end := start.Add(d)
+	var issued uint64
+	n := w.N()
+	for {
+		now := time.Now()
+		if !now.Before(end) {
+			break
+		}
+		due := uint64(now.Sub(start).Seconds() * qps)
+		for issued < due {
+			i := int(issued) % n
+			issued++
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				_, err := s.Assign(context.Background(), w.At(i))
+				c.record(err)
+			}(i)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	wg.Wait()
+	rep := c.report("open", issued, time.Since(start))
+	rep.TargetQPS = qps
+	return rep
+}

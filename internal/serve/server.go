@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is returned when a query is shed: either the bounded
+// admission queue was full at enqueue, or the request's deadline had
+// already passed when a worker dequeued it. Shedding early is the
+// backpressure mechanism — under sustained overload the server keeps
+// answering the queries it can within their deadlines instead of
+// letting every response time grow without bound.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// ErrClosed is returned for queries issued to (or stranded in) a
+// server that has been closed.
+var ErrClosed = errors.New("serve: server closed")
+
+// Options configures a Server. The zero value picks sensible defaults.
+type Options struct {
+	// Workers is the number of serving goroutines (default: GOMAXPROCS).
+	// Each worker owns one shard of the admission queue.
+	Workers int
+	// BatchCap caps the micro-batch: a worker that wakes up drains at
+	// most this many queued queries and answers them in one kd-tree
+	// traversal batch. 1 disables batching (every query is a single
+	// dispatch); the default is 32. Batching is adaptive — a worker
+	// never waits to fill a batch, it takes whatever is queued.
+	BatchCap int
+	// QueueCap bounds the admission queue across all shards; a query
+	// arriving when every shard is full is rejected with ErrOverloaded.
+	// Default: Workers * BatchCap * 4.
+	QueueCap int
+	// MaxQueueDelay is the default per-query deadline measured from
+	// enqueue: a query a worker dequeues later than this is shed with
+	// ErrOverloaded rather than answered late. An earlier context
+	// deadline on the request takes precedence. Default 100ms;
+	// negative disables deadline shedding.
+	MaxQueueDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchCap <= 0 {
+		o.BatchCap = 32
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = o.Workers * o.BatchCap * 4
+	}
+	if o.MaxQueueDelay == 0 {
+		o.MaxQueueDelay = 100 * time.Millisecond
+	}
+	return o
+}
+
+// liveModel pairs a snapshot with its generation so one atomic load
+// gives workers a consistent (model, generation) view per batch.
+type liveModel struct {
+	m   *Model
+	gen uint64
+}
+
+type result struct {
+	a   Assignment
+	err error
+}
+
+type request struct {
+	q        []float64
+	ctx      context.Context
+	enq      time.Time
+	deadline time.Time // zero: no deadline
+	resp     chan result
+}
+
+// Server answers cluster-assignment queries against a hot-swappable
+// Model snapshot. Create one with NewServer, query it with Assign from
+// any number of goroutines, replace the model with Swap, and stop it
+// with Close.
+type Server struct {
+	opts   Options
+	cur    atomic.Pointer[liveModel]
+	gen    atomic.Uint64
+	swapMu sync.Mutex
+
+	shards []chan *request
+	rr     atomic.Uint64 // round-robin admission cursor
+	stats  *collector
+
+	mu     sync.RWMutex // guards closed vs. in-flight enqueues
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer starts a serving pool over m. The caller must Close it.
+func NewServer(m *Model, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:   opts,
+		shards: make([]chan *request, opts.Workers),
+		stats:  newCollector(opts.BatchCap),
+		done:   make(chan struct{}),
+	}
+	s.gen.Store(1)
+	s.cur.Store(&liveModel{m: m, gen: 1})
+	perShard := (opts.QueueCap + opts.Workers - 1) / opts.Workers
+	if perShard < 1 {
+		perShard = 1
+	}
+	for i := range s.shards {
+		s.shards[i] = make(chan *request, perShard)
+		s.wg.Add(1)
+		go s.worker(s.shards[i])
+	}
+	return s
+}
+
+// Assign answers one query, blocking until a worker responds, the
+// context is done, or the query is shed. q must have the model's
+// dimensionality and must not be mutated until Assign returns.
+func (s *Server) Assign(ctx context.Context, q []float64) (Assignment, error) {
+	if d := s.cur.Load().m.Dim(); len(q) != d {
+		return Assignment{Cluster: Noise}, fmt.Errorf("serve: query has %d coordinates, model wants %d", len(q), d)
+	}
+	req := &request{
+		q:    q,
+		ctx:  ctx,
+		enq:  time.Now(),
+		resp: make(chan result, 1),
+	}
+	if s.opts.MaxQueueDelay > 0 {
+		req.deadline = req.enq.Add(s.opts.MaxQueueDelay)
+	}
+	if cd, ok := ctx.Deadline(); ok && (req.deadline.IsZero() || cd.Before(req.deadline)) {
+		req.deadline = cd
+	}
+
+	// Admission: one non-blocking attempt per shard, starting at the
+	// round-robin cursor. All shards full means the pool is at least
+	// QueueCap queries behind — shed now rather than queue a query
+	// that would miss its deadline anyway. The read lock pairs with
+	// Close's write lock so no enqueue can race past the final drain.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Assignment{Cluster: Noise}, ErrClosed
+	}
+	start := int(s.rr.Add(1))
+	admitted := false
+	for i := 0; i < len(s.shards); i++ {
+		select {
+		case s.shards[(start+i)%len(s.shards)] <- req:
+			admitted = true
+		default:
+			continue
+		}
+		break
+	}
+	s.mu.RUnlock()
+	if !admitted {
+		s.stats.shedEnq.Add(1)
+		return Assignment{Cluster: Noise}, ErrOverloaded
+	}
+
+	select {
+	case r := <-req.resp:
+		return r.a, r.err
+	case <-ctx.Done():
+		// The worker (or Close's drain) still delivers into the
+		// buffered resp channel; nobody blocks on an abandoned request.
+		return Assignment{Cluster: Noise}, ctx.Err()
+	}
+}
+
+// worker drains its shard with adaptive micro-batching: block for the
+// first request, then take whatever else is already queued up to
+// BatchCap, and answer the whole batch against one atomic model load.
+func (s *Server) worker(ch chan *request) {
+	defer s.wg.Done()
+	batchCap := s.opts.BatchCap
+	batch := make([]*request, 0, batchCap)
+	live := make([]*request, 0, batchCap)
+	qbuf := make([]float64, 0, batchCap*8)
+	abuf := make([]Assignment, batchCap)
+	var nbrs []int32
+	for {
+		var first *request
+		select {
+		case first = <-ch:
+		case <-s.done:
+			return
+		}
+		batch = append(batch[:0], first)
+		if batchCap > 1 && len(ch) == 0 {
+			// The first dequeue usually arrives by direct handoff, which
+			// wakes this worker before other blocked clients get a
+			// timeslice to enqueue theirs. One yield lets those runnable
+			// producers catch up so the drain below sees a real batch
+			// instead of ping-ponging one query per wakeup; the cost is
+			// a single scheduler pass amortized over the whole batch.
+			runtime.Gosched()
+		}
+		for len(batch) < batchCap {
+			select {
+			case r := <-ch:
+				batch = append(batch, r)
+				continue
+			default:
+			}
+			break
+		}
+		s.stats.observeBatch(len(batch))
+
+		// Admission-control pass: canceled and already-late queries are
+		// answered without touching the tree.
+		now := time.Now()
+		live = live[:0]
+		for _, r := range batch {
+			switch {
+			case r.ctx.Err() != nil:
+				s.stats.canceled.Add(1)
+				r.resp <- result{a: Assignment{Cluster: Noise}, err: r.ctx.Err()}
+			case !r.deadline.IsZero() && now.After(r.deadline):
+				s.stats.shedDeadline.Add(1)
+				r.resp <- result{a: Assignment{Cluster: Noise}, err: ErrOverloaded}
+			default:
+				live = append(live, r)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+
+		lm := s.cur.Load()
+		if len(live) == 1 {
+			// Single dispatch: one plain Radius with a worker-local
+			// neighbour buffer. This is the whole serving path when
+			// BatchCap == 1 (the "unbatched" benchmark arm).
+			var a Assignment
+			a, nbrs = lm.m.assignReuse(live[0].q, nbrs)
+			a.Generation = lm.gen
+			s.finish(live[0], a)
+			continue
+		}
+		qbuf = qbuf[:0]
+		for _, r := range live {
+			qbuf = append(qbuf, r.q...)
+		}
+		out := abuf[:len(live)]
+		lm.m.AssignBatch(qbuf, out)
+		for i, r := range live {
+			out[i].Generation = lm.gen
+			s.finish(r, out[i])
+		}
+	}
+}
+
+// finish records a completed query and delivers its answer.
+func (s *Server) finish(r *request, a Assignment) {
+	s.stats.completed.Add(1)
+	s.stats.lat.observe(time.Since(r.enq))
+	r.resp <- result{a: a}
+}
+
+// assignReuse answers one query against the snapshot, reusing the
+// caller's neighbour buffer (returned grown for the next call).
+func (m *Model) assignReuse(q []float64, nbrs []int32) (Assignment, []int32) {
+	nbrs = m.tree.Radius(q, m.eps, nbrs[:0], nil)
+	return m.classify(nbrs), nbrs
+}
+
+// Swap atomically replaces the served model with m and returns the new
+// generation. In-flight batches finish on the snapshot they loaded;
+// every later batch sees m. There is no pause: queries admitted during
+// the swap are answered by one model or the other, never neither, and
+// each response's Generation says which. The new model must have the
+// same dimensionality (queries are validated at admission against the
+// then-current model).
+func (s *Server) Swap(m *Model) (uint64, error) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if d := s.cur.Load().m.Dim(); m.Dim() != d {
+		return 0, fmt.Errorf("serve: swap dimensionality %d != current %d", m.Dim(), d)
+	}
+	gen := s.gen.Add(1)
+	s.cur.Store(&liveModel{m: m, gen: gen})
+	return gen, nil
+}
+
+// Model returns the currently served snapshot and its generation.
+func (s *Server) Model() (*Model, uint64) {
+	lm := s.cur.Load()
+	return lm.m, lm.gen
+}
+
+// Stats snapshots the serving metrics.
+func (s *Server) Stats() Stats {
+	return s.stats.snapshot(s.cur.Load().gen)
+}
+
+// Close stops the workers and fails any still-queued query with
+// ErrClosed. It is idempotent; Assign calls racing with Close get
+// either a served answer or ErrClosed, never a hang.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	for _, ch := range s.shards {
+		for {
+			select {
+			case r := <-ch:
+				r.resp <- result{a: Assignment{Cluster: Noise}, err: ErrClosed}
+				continue
+			default:
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The latency histogram is log-linear: one octave per power of two of
+// nanoseconds, histSub linear sub-buckets per octave, giving ~6%
+// relative resolution across the full range with 8 KiB of counters and
+// one atomic add per sample — no locks on the serving hot path.
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits
+	histBuckets = 64 * histSub
+)
+
+// latencyHist is a fixed-size concurrent histogram of durations.
+type latencyHist struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+	max     atomic.Uint64 // nanoseconds
+}
+
+func histBucket(ns uint64) int {
+	b := bits.Len64(ns) // 0..64
+	if b <= histSubBits {
+		return int(ns)
+	}
+	return (b-histSubBits)*histSub + int(ns>>(b-1-histSubBits)) - histSub
+}
+
+// histValue returns the lower edge of bucket i, inverting histBucket.
+func histValue(i int) uint64 {
+	if i < histSub {
+		return uint64(i)
+	}
+	oct := i/histSub + histSubBits - 1
+	minor := uint64(i%histSub) + histSub
+	return minor << (oct - histSubBits)
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.buckets[histBucket(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// quantiles returns the latencies at the given cumulative fractions
+// (each in (0,1]) in one pass over the buckets. Values are bucket
+// lower edges, i.e. at most ~6% below the true quantile.
+func (h *latencyHist) quantiles(qs ...float64) []time.Duration {
+	total := h.count.Load()
+	out := make([]time.Duration, len(qs))
+	if total == 0 {
+		return out
+	}
+	ranks := make([]uint64, len(qs))
+	for i, q := range qs {
+		r := uint64(q * float64(total))
+		if r < 1 {
+			r = 1
+		}
+		ranks[i] = r
+	}
+	var cum uint64
+	qi := 0
+	for b := 0; b < histBuckets && qi < len(qs); b++ {
+		cum += h.buckets[b].Load()
+		for qi < len(qs) && cum >= ranks[qi] {
+			out[qi] = time.Duration(histValue(b))
+			qi++
+		}
+	}
+	return out
+}
+
+// Stats is a point-in-time snapshot of a Server's serving metrics,
+// cumulative since the server started.
+type Stats struct {
+	// Completed counts queries answered with an Assignment.
+	Completed uint64 `json:"completed"`
+	// Shed counts queries rejected with ErrOverloaded, split by where
+	// the rejection happened: a full admission queue at enqueue, or a
+	// missed deadline discovered at dequeue.
+	Shed         uint64 `json:"shed"`
+	ShedAtEnq    uint64 `json:"shed_at_enqueue"`
+	ShedDeadline uint64 `json:"shed_deadline"`
+	// Canceled counts queries whose context was done by dequeue time.
+	Canceled uint64 `json:"canceled"`
+	// Batches counts worker wakeups; Completed/Batches is the mean
+	// micro-batch size, and BatchSizeDist[k] counts batches that
+	// drained exactly k requests (index 0 is unused).
+	Batches       uint64   `json:"batches"`
+	MeanBatch     float64  `json:"mean_batch"`
+	BatchSizeDist []uint64 `json:"batch_size_dist"`
+	// Wall-clock enqueue-to-response latency of completed queries.
+	LatencyP50  time.Duration `json:"latency_p50_ns"`
+	LatencyP99  time.Duration `json:"latency_p99_ns"`
+	LatencyP999 time.Duration `json:"latency_p999_ns"`
+	LatencyMax  time.Duration `json:"latency_max_ns"`
+	LatencyMean time.Duration `json:"latency_mean_ns"`
+	// Uptime is the time since the server started; QPS is
+	// Completed/Uptime.
+	Uptime time.Duration `json:"uptime_ns"`
+	QPS    float64       `json:"qps"`
+	// Generation is the currently served model generation.
+	Generation uint64 `json:"generation"`
+}
+
+// collector is the concurrent backing store behind Stats.
+type collector struct {
+	start        time.Time
+	completed    atomic.Uint64
+	shedEnq      atomic.Uint64
+	shedDeadline atomic.Uint64
+	canceled     atomic.Uint64
+	batches      atomic.Uint64
+	batchDist    []atomic.Uint64 // index = drained batch size
+	lat          latencyHist
+}
+
+func newCollector(batchCap int) *collector {
+	return &collector{
+		start:     time.Now(),
+		batchDist: make([]atomic.Uint64, batchCap+1),
+	}
+}
+
+func (c *collector) observeBatch(size int) {
+	c.batches.Add(1)
+	if size >= len(c.batchDist) {
+		size = len(c.batchDist) - 1
+	}
+	c.batchDist[size].Add(1)
+}
+
+func (c *collector) snapshot(generation uint64) Stats {
+	s := Stats{
+		Completed:    c.completed.Load(),
+		ShedAtEnq:    c.shedEnq.Load(),
+		ShedDeadline: c.shedDeadline.Load(),
+		Canceled:     c.canceled.Load(),
+		Batches:      c.batches.Load(),
+		Uptime:       time.Since(c.start),
+		Generation:   generation,
+	}
+	s.Shed = s.ShedAtEnq + s.ShedDeadline
+	if s.Batches > 0 {
+		s.MeanBatch = float64(s.Completed+s.Canceled+s.ShedDeadline) / float64(s.Batches)
+	}
+	s.BatchSizeDist = make([]uint64, len(c.batchDist))
+	for i := range c.batchDist {
+		s.BatchSizeDist[i] = c.batchDist[i].Load()
+	}
+	q := c.lat.quantiles(0.50, 0.99, 0.999)
+	s.LatencyP50, s.LatencyP99, s.LatencyP999 = q[0], q[1], q[2]
+	s.LatencyMax = time.Duration(c.lat.max.Load())
+	if n := c.lat.count.Load(); n > 0 {
+		s.LatencyMean = time.Duration(c.lat.sum.Load() / n)
+	}
+	if sec := s.Uptime.Seconds(); sec > 0 {
+		s.QPS = float64(s.Completed) / sec
+	}
+	return s
+}

@@ -32,6 +32,7 @@ import (
 	"sparkdbscan/internal/kdist"
 	"sparkdbscan/internal/kdtree"
 	"sparkdbscan/internal/quest"
+	"sparkdbscan/internal/serve"
 	"sparkdbscan/internal/spark"
 )
 
@@ -129,7 +130,9 @@ func (r *Result) ClusterSizes() []int {
 	return sizes
 }
 
-// Members returns the point indices belonging to cluster id.
+// Members returns the point indices belonging to cluster id. It scans
+// every label; when iterating over points rather than clusters, use
+// LabelOf instead of one Members call per cluster.
 func (r *Result) Members(id int32) []int32 {
 	var out []int32
 	for i, l := range r.Labels {
@@ -138,6 +141,15 @@ func (r *Result) Members(id int32) []int32 {
 		}
 	}
 	return out
+}
+
+// LabelOf returns point i's cluster id, or Noise. It is the O(1)
+// per-point accessor; out-of-range indices return Noise.
+func (r *Result) LabelOf(i int32) int32 {
+	if i < 0 || int(i) >= len(r.Labels) {
+		return Noise
+	}
+	return r.Labels[i]
 }
 
 // Cluster runs the paper's distributed DBSCAN on ds.
@@ -254,6 +266,51 @@ func LoadDataset(path string) (*Dataset, error) {
 		return geom.ReadBinary(f)
 	}
 	return geom.ReadText(f)
+}
+
+// ---- online serving ----
+//
+// Clustering is a batch job; classifying new points against a finished
+// clustering is a service. Freeze turns a Result into an immutable
+// Model snapshot, NewServer wraps it in a concurrent query pool with
+// micro-batching, backpressure and hot-swap. See internal/serve and
+// examples/serving.
+
+// Model is an immutable snapshot of a clustering (labels, core-point
+// set, spatial index, parameters) that answers point-assignment
+// queries. Any number of goroutines may call Assign concurrently.
+type Model = serve.Model
+
+// Assignment is the answer to one serving query.
+type Assignment = serve.Assignment
+
+// Server is a concurrent serving pool over a hot-swappable Model.
+type Server = serve.Server
+
+// ServeOptions configures NewServer; the zero value picks defaults.
+type ServeOptions = serve.Options
+
+// ServeStats is a snapshot of a Server's metrics.
+type ServeStats = serve.Stats
+
+// ErrOverloaded is returned for queries shed by a Server's
+// backpressure (admission queue full, or queue delay past the limit).
+var ErrOverloaded = serve.ErrOverloaded
+
+// Freeze snapshots a clustering into a Model for serving. It derives
+// the core-point set from the dataset (distributed results keep only
+// labels) and builds a fresh spatial index; eps and minPts must be the
+// values res was clustered with.
+func Freeze(ds *Dataset, res *Result, eps float64, minPts int) (*Model, error) {
+	if res == nil {
+		return nil, fmt.Errorf("sparkdbscan: Freeze needs a clustering result")
+	}
+	return serve.Freeze(ds, res.Labels, nil, nil, dbscan.Params{Eps: eps, MinPts: minPts})
+}
+
+// NewServer starts a serving pool over m. The caller must Close it.
+func NewServer(m *Model, opts ServeOptions) *Server {
+	return serve.NewServer(m, opts)
 }
 
 // SaveDataset writes ds to path, choosing the format by extension as in

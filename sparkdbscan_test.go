@@ -1,6 +1,7 @@
 package sparkdbscan
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -230,5 +231,65 @@ func TestInvalidParams(t *testing.T) {
 	}
 	if _, err := ClusterSequential(ds, 25, 0); err == nil {
 		t.Fatal("minPts=0 accepted")
+	}
+}
+
+func TestLabelOf(t *testing.T) {
+	ds := smallDataset(t)
+	eps, minPts := TableIParams()
+	res, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range res.Labels {
+		if got := res.LabelOf(int32(i)); got != want {
+			t.Fatalf("LabelOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if res.LabelOf(-1) != Noise || res.LabelOf(int32(ds.Len())) != Noise {
+		t.Fatal("out-of-range index not Noise")
+	}
+}
+
+func TestFreezeAndServe(t *testing.T) {
+	ds := smallDataset(t)
+	eps, minPts := TableIParams()
+	res, err := Cluster(ds, Config{Eps: eps, MinPts: minPts, Cores: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Freeze(ds, nil, eps, minPts); err == nil {
+		t.Fatal("nil result accepted")
+	}
+	model, err := Freeze(ds, res, eps, minPts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.NumPoints() != ds.Len() || model.NumClusters() != res.NumClusters {
+		t.Fatalf("model %d points %d clusters, result %d/%d",
+			model.NumPoints(), model.NumClusters(), ds.Len(), res.NumClusters)
+	}
+	srv := NewServer(model, ServeOptions{Workers: 2})
+	defer srv.Close()
+	// Core points served back must keep their offline label.
+	checked := 0
+	for i := 0; i < ds.Len() && checked < 50; i++ {
+		a, err := srv.Assign(context.Background(), ds.At(int32(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Core {
+			if a.Cluster != res.LabelOf(int32(i)) {
+				t.Fatalf("core point %d served label %d, offline %d", i, a.Cluster, res.LabelOf(int32(i)))
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no core points checked")
+	}
+	var st ServeStats = srv.Stats()
+	if st.Completed == 0 || st.Generation != 1 {
+		t.Fatalf("stats %+v", st)
 	}
 }
