@@ -1,0 +1,339 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/quest"
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/spark"
+
+	coredbscan "sparkdbscan/internal/core"
+)
+
+// The partition bench answers the question the cell partitioner exists
+// for: what does getting points to executors cost? The same clustering
+// job runs once per partitioning mode — index ranges over a
+// full-dataset broadcast versus grid cells over an eps-halo shuffle —
+// with identical parameters and an assertion that the labels are
+// byte-identical. The measured row is a real run; the projection rows
+// rescale its metered work ledgers to 1M/10M/100M points on
+// correspondingly larger clusters, so the structural difference is
+// visible at the paper's scales: range mode's per-executor broadcast
+// deserialization and seed-heavy merge grow with n no matter how many
+// cores are added, while cell mode's shuffle and halo spread across
+// the cluster.
+
+// PartBenchMode is one partitioning arm of a row.
+type PartBenchMode struct {
+	Mode string `json:"mode"`
+	// Tasks is the number of local-clustering tasks.
+	Tasks int `json:"tasks"`
+	// BroadcastBytes is the payload every executor deserializes:
+	// dataset + kd-tree under range, the O(cells) grid plan under cell.
+	BroadcastBytes int64 `json:"broadcast_bytes_per_executor"`
+	// ShuffleBytes is the total byte·leg volume crossing the cell
+	// shuffle; zero under range.
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	// HaloPoints counts replicas emitted into eps-halo neighbor cells.
+	HaloPoints int64 `json:"halo_points"`
+	// Cells is the number of non-empty home cells (cell mode only).
+	Cells           int64   `json:"cells,omitempty"`
+	DriverSeconds   float64 `json:"driver_seconds"`
+	ExecutorSeconds float64 `json:"executor_seconds"`
+	// Makespan is driver + executor simulated seconds (Phases.Total).
+	Makespan float64 `json:"makespan_seconds"`
+}
+
+// PartBenchRow compares the two modes at one dataset size. The first
+// row is measured; projected rows rescale the measured work ledgers.
+type PartBenchRow struct {
+	Points    int64         `json:"points"`
+	Cores     int           `json:"cores"`
+	Projected bool          `json:"projected"`
+	Range     PartBenchMode `json:"range"`
+	Cell      PartBenchMode `json:"cell"`
+	// Speedup is range makespan over cell makespan (>1: cell wins).
+	Speedup float64 `json:"range_over_cell_makespan"`
+}
+
+// PartBenchReport is the BENCH_partition.json payload.
+type PartBenchReport struct {
+	Method           string         `json:"method"`
+	Dataset          string         `json:"dataset"`
+	BasePoints       int            `json:"base_points"`
+	BaseCores        int            `json:"base_cores"`
+	CoresPerExecutor int            `json:"cores_per_executor"`
+	Partitions       int            `json:"partitions"`
+	LabelsMatch      bool           `json:"labels_match"`
+	Rows             []PartBenchRow `json:"rows"`
+}
+
+// partMeasure is what the projection needs from one measured arm: the
+// executor work ledger (re-priced after scaling), the driver time split
+// into its linear and n·log n parts, and the per-executor broadcast
+// warmup (serial per executor — the term cores cannot absorb).
+type partMeasure struct {
+	mode    PartBenchMode
+	execW   simtime.Work
+	treeSec float64 // driver kd-tree build: n·log n (range only)
+	rest    float64 // remaining driver time (read, plan, merge, ser): linear
+	warmup  float64 // per-executor broadcast deserialization
+}
+
+// measurePart runs one arm for real and captures its ledgers.
+func measurePart(run func() (*coredbscan.Result, error), model *simtime.CostModel) (*coredbscan.Result, partMeasure, error) {
+	res, err := run()
+	if err != nil {
+		return nil, partMeasure{}, err
+	}
+	m := partMeasure{
+		treeSec: res.Phases.TreeBuild,
+		warmup:  float64(res.Dist.BroadcastBytes) * model.BcastDeser,
+	}
+	for _, st := range res.Report.Stages {
+		m.execW.Add(st.Work)
+	}
+	m.rest = res.Phases.Driver() - m.treeSec
+	m.mode = PartBenchMode{
+		Mode:            res.Dist.Mode,
+		Tasks:           res.Dist.Tasks,
+		BroadcastBytes:  res.Dist.BroadcastBytes,
+		ShuffleBytes:    res.Dist.ShuffleBytes,
+		HaloPoints:      res.Dist.HaloPoints,
+		Cells:           int64(res.Dist.Cells),
+		DriverSeconds:   res.Phases.Driver(),
+		ExecutorSeconds: res.Phases.Executors,
+		Makespan:        res.Phases.Total(),
+	}
+	return res, m, nil
+}
+
+// project rescales a measured arm to n points on a cluster of the
+// given core count, under constant-density weak scaling: per-point
+// neighborhood work and the halo fraction stay what the base run
+// measured, counts grow by n/n₀, and the components tied to a global
+// structure (the driver kd-tree's build, its executor-side traversal)
+// additionally grow by ln n / ln n₀ when logGrows is set (cell mode's
+// per-cell trees keep a bounded size, so it is not). Executors are
+// assumed task-balanced — at these scales both modes have far more
+// work units than cores — while the driver stays serial and every
+// executor still pays the full broadcast deserialization.
+func (m partMeasure) project(n int64, cores int, basePoints int, logGrows bool, model *simtime.CostModel) PartBenchMode {
+	f := float64(n) / float64(basePoints)
+	lc := 1.0
+	if logGrows {
+		lc = math.Log(float64(n)) / math.Log(float64(basePoints))
+	}
+	w := m.execW
+	scale := func(v int64, by float64) int64 { return int64(float64(v) * by) }
+	w.KDNodes = scale(w.KDNodes, f*lc)
+	w.KDIncluded = scale(w.KDIncluded, f*lc)
+	w.TreeBuildOps = scale(w.TreeBuildOps, f*lc)
+	w.DistComps = scale(w.DistComps, f)
+	w.QueueOps = scale(w.QueueOps, f)
+	w.HashOps = scale(w.HashOps, f)
+	w.Elems = scale(w.Elems, f)
+	w.MergeOps = scale(w.MergeOps, f)
+	w.SortComps = scale(w.SortComps, f)
+	w.SerBytes = scale(w.SerBytes, f)
+	w.DiskWriteBytes = scale(w.DiskWriteBytes, f)
+	w.DiskReadBytes = scale(w.DiskReadBytes, f)
+	w.NetBytes = scale(w.NetBytes, f)
+	w.HDFSBytes = scale(w.HDFSBytes, f)
+	w.ShuffleBytes = scale(w.ShuffleBytes, f)
+	w.HaloPoints = scale(w.HaloPoints, f)
+	// TaskLaunches stay as measured: the task structure is held fixed.
+
+	out := m.mode
+	out.BroadcastBytes = scale(m.mode.BroadcastBytes, f)
+	out.ShuffleBytes = scale(m.mode.ShuffleBytes, f)
+	out.HaloPoints = scale(m.mode.HaloPoints, f)
+	if m.mode.Cells > 0 {
+		// The planner targets occupancy per task, so the cell count — and
+		// with it the broadcast plan, which is O(cells) — tracks the
+		// cluster size, not the point count. (Halo and shuffle keep the
+		// measured per-point fraction above, which overstates them for
+		// the proportionally coarser grid: conservative against cell
+		// mode.)
+		coreF := float64(cores) / float64(m.mode.Tasks)
+		out.Cells = scale(m.mode.Cells, coreF)
+		out.BroadcastBytes = scale(m.mode.BroadcastBytes, coreF)
+		out.Tasks = cores
+	}
+	out.DriverSeconds = m.rest*f + m.treeSec*f*lc
+	// Warmup is the per-executor serial deserialization of the broadcast
+	// payload — it scales with that payload, not with cores.
+	bcF := float64(out.BroadcastBytes) / float64(m.mode.BroadcastBytes)
+	out.ExecutorSeconds = model.Seconds(w)/float64(cores) + m.warmup*bcF
+	out.Makespan = out.DriverSeconds + out.ExecutorSeconds
+	return out
+}
+
+// RunPartBench runs the range-vs-cell comparison and, when jsonPath is
+// non-empty, writes the report there. points sizes the real base run
+// (0 = 20000); smoke shrinks it for CI.
+func RunPartBench(w io.Writer, jsonPath string, points int, smoke bool) error {
+	if points < 100 {
+		points = 20000
+	}
+	if smoke && points > 4000 {
+		points = 4000
+	}
+	const (
+		dataset    = "c10k"
+		cores      = 16
+		cpe        = 4
+		partitions = 16
+	)
+	spec, err := quest.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	ds, err := quest.Generate(spec.Scaled(points))
+	if err != nil {
+		return err
+	}
+	params := dbscan.Params{Eps: quest.TableIEps, MinPts: quest.TableIMinPts}
+	model := simtime.DefaultModel()
+	// Cells sized an order below the blob scale: enough cells per task
+	// for balance without the halo factor exploding (see DESIGN.md §13
+	// on the axes/halo trade-off). Derived from the generated size —
+	// quest specs only scale down, so ds may be smaller than requested.
+	targetPerCell := ds.Len() / 10
+	if targetPerCell < 50 {
+		targetPerCell = 50
+	}
+
+	run := func(mode coredbscan.PartitionMode) func() (*coredbscan.Result, error) {
+		return func() (*coredbscan.Result, error) {
+			sctx := spark.NewContext(spark.Config{
+				Cores: cores, CoresPerExecutor: cpe, Seed: 42,
+			})
+			// Both arms use the exact-seed / canonical-merge pair, so the
+			// comparison isolates the partitioning: labels are a pure
+			// function of the point set and must match byte for byte.
+			return coredbscan.Run(sctx, ds, coredbscan.Config{
+				Params:       params,
+				Partitions:   partitions,
+				SeedMode:     coredbscan.SeedExact,
+				Merge:        coredbscan.MergeOptions{Algo: coredbscan.MergeCanonical},
+				Partitioning: mode,
+				Cell:         coredbscan.CellOptions{TargetPointsPerCell: targetPerCell},
+			})
+		}
+	}
+	rangeRes, rangeM, err := measurePart(run(coredbscan.PartRange), model)
+	if err != nil {
+		return err
+	}
+	cellRes, cellM, err := measurePart(run(coredbscan.PartCell), model)
+	if err != nil {
+		return err
+	}
+
+	match := rangeRes.Global.NumClusters == cellRes.Global.NumClusters &&
+		rangeRes.Global.NumNoise == cellRes.Global.NumNoise
+	for i := range rangeRes.Global.Labels {
+		if rangeRes.Global.Labels[i] != cellRes.Global.Labels[i] {
+			match = false
+			break
+		}
+	}
+
+	report := PartBenchReport{
+		Method: "same job, same parameters, exact-seed/canonical-merge in both arms; " +
+			"measured row is a real run, projected rows rescale its metered work ledgers " +
+			"(constant-density weak scaling: per-point work and halo fraction held at " +
+			"measured values, counts x n/n0, global-tree build and traversal additionally " +
+			"x ln n/ln n0, executors assumed task-balanced on the row's core count, " +
+			"driver serial, per-executor broadcast deserialization linear in payload)",
+		Dataset: dataset, BasePoints: ds.Len(), BaseCores: cores,
+		CoresPerExecutor: cpe, Partitions: partitions,
+		LabelsMatch: match,
+	}
+	base := PartBenchRow{
+		Points: int64(ds.Len()),
+		Cores:  cores,
+		Range:  rangeM.mode,
+		Cell:   cellM.mode,
+	}
+	base.Speedup = base.Range.Makespan / base.Cell.Makespan
+	report.Rows = append(report.Rows, base)
+	for _, sc := range []struct {
+		points int64
+		cores  int
+	}{
+		{1_000_000, 64},
+		{10_000_000, 256},
+		{100_000_000, 1024},
+	} {
+		row := PartBenchRow{
+			Points:    sc.points,
+			Cores:     sc.cores,
+			Projected: true,
+			Range:     rangeM.project(sc.points, sc.cores, ds.Len(), true, model),
+			Cell:      cellM.project(sc.points, sc.cores, ds.Len(), false, model),
+		}
+		row.Speedup = row.Range.Makespan / row.Cell.Makespan
+		report.Rows = append(report.Rows, row)
+	}
+
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "points\tcores\tmode\tbcast/exec\tshuffle\thalo\tcells\tdriver\texec\tmakespan\trange/cell")
+	for _, row := range report.Rows {
+		tag := ""
+		if row.Projected {
+			tag = " (proj)"
+		}
+		for _, m := range []PartBenchMode{row.Range, row.Cell} {
+			fmt.Fprintf(tw, "%d%s\t%d\t%s\t%s\t%s\t%d\t%d\t%.1fs\t%.1fs\t%.1fs\t%.2fx\n",
+				row.Points, tag, row.Cores, m.Mode,
+				fmtBytes(m.BroadcastBytes), fmtBytes(m.ShuffleBytes),
+				m.HaloPoints, m.Cells, m.DriverSeconds, m.ExecutorSeconds,
+				m.Makespan, row.Speedup)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	labels := "identical"
+	if !match {
+		labels = "DIFFER"
+	}
+	fmt.Fprintf(w, "labels across modes: %s\n", labels)
+	if !match {
+		return fmt.Errorf("partbench: cell mode changed the clustering — the halo or merge is broken")
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nwrote %s\n", jsonPath)
+	return nil
+}
+
+// fmtBytes renders a byte count with a binary-ish human unit.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

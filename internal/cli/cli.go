@@ -94,6 +94,9 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		real    = fs.Bool("realtime", false, "wall-clock timing instead of the virtual cluster")
 		spatial = fs.Bool("spatial", false, "Z-order (neighbourhood-aware) partitioning")
 
+		partition = fs.String("partition", "range", "spatial partitioning: range (broadcast the dataset) or cell (eps-halo shuffle)")
+		cellPts   = fs.Int("cellpoints", 0, "cell mode: target home points per cell (0 = default)")
+
 		traceOut   = fs.String("trace", "", "write a Chrome/Perfetto trace of the simulated run to this JSON file")
 		metricsOut = fs.String("metrics", "", "write the metrics snapshot (incl. critical path) to this JSON file")
 		gantt      = fs.Bool("gantt", false, "print a per-core ASCII Gantt chart of every executor stage")
@@ -113,6 +116,13 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	if observing && *real {
 		return fmt.Errorf("dbscan: -trace/-metrics/-gantt record the simulated clock; drop -realtime")
 	}
+	partMode, err := coredbscan.ParsePartitionMode(*partition)
+	if err != nil {
+		return fmt.Errorf("dbscan: %w", err)
+	}
+	if partMode != coredbscan.PartRange && *cores <= 0 {
+		return fmt.Errorf("dbscan: -partition=%s needs a distributed run (-cores > 0)", partMode)
+	}
 	ds, err := loadDataset(*in)
 	if err != nil {
 		return err
@@ -122,6 +132,7 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	var coreFlags []bool // sequential runs know the core points; Freeze re-derives otherwise
 	numClusters, numNoise, partials := 0, 0, 0
 	var timing coredbscan.Phases
+	var dist coredbscan.DistStats
 	params := dbscan.Params{Eps: *eps, MinPts: *minPts}
 	if *cores <= 0 {
 		res, err := dbscan.Run(ds, kdtree.Build(ds), params)
@@ -153,6 +164,8 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 			Merge:               coredbscan.MergeOptions{Algo: mergeAlgo},
 			MaxNeighbors:        *prune,
 			SpatialPartitioning: *spatial,
+			Partitioning:        partMode,
+			Cell:                coredbscan.CellOptions{TargetPointsPerCell: *cellPts},
 		})
 		if err != nil {
 			return err
@@ -161,6 +174,7 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		numClusters, numNoise = res.Global.NumClusters, res.Global.NumNoise
 		partials = res.Global.NumPartialClusters
 		timing = res.Phases
+		dist = res.Dist
 
 		if *gantt {
 			for _, s := range rec.Stages() {
@@ -189,6 +203,14 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "partial clusters: %d\n", partials)
 		fmt.Fprintf(stdout, "time: driver %.2fs + executors %.2fs = %.2fs\n",
 			timing.Driver(), timing.Executors, timing.Total())
+		fmt.Fprintf(stdout, "partitioning: %s, %d tasks, broadcast %d B/executor\n",
+			dist.Mode, dist.Tasks, dist.BroadcastBytes)
+		if dist.Mode == coredbscan.PartCell.String() {
+			fmt.Fprintf(stdout, "  cells: %d non-empty (grid %d, %d axes split at side %.3g, ring %d)\n",
+				dist.Cells, dist.GridCells, dist.SplitAxes, dist.CellSide, dist.Ring)
+			fmt.Fprintf(stdout, "  shuffle: %d B, %d halo replicas\n",
+				dist.ShuffleBytes, dist.HaloPoints)
+		}
 	}
 	printClusterSizes(stdout, labels, numClusters)
 
@@ -233,7 +255,10 @@ func RunBench(args []string, stdout io.Writer) error {
 
 		servebench  = fs.String("servebench", "", "run the online-serving benchmark, write JSON to this path (e.g. BENCH_serve.json), and exit")
 		servepoints = fs.Int("servepoints", 20000, "dataset points for -servebench")
-		smoke       = fs.Bool("smoke", false, "shrink -servebench to a seconds-long CI smoke run")
+		smoke       = fs.Bool("smoke", false, "shrink -servebench/-partbench to a seconds-long CI smoke run")
+
+		partbench  = fs.String("partbench", "", "run the range-vs-cell partitioning benchmark, write JSON to this path (e.g. BENCH_partition.json), and exit")
+		partpoints = fs.Int("partpoints", 20000, "measured base-run points for -partbench (projections scale from it)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -243,6 +268,9 @@ func RunBench(args []string, stdout io.Writer) error {
 	}
 	if *servebench != "" {
 		return bench.RunServeBench(stdout, *servebench, *servepoints, *smoke)
+	}
+	if *partbench != "" {
+		return bench.RunPartBench(stdout, *partbench, *partpoints, *smoke)
 	}
 	if *kdbench != "" {
 		return bench.RunKDBench(stdout, *kdbench, *kdreps)

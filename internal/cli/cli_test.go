@@ -301,3 +301,68 @@ func TestBenchServeBench(t *testing.T) {
 		}
 	}
 }
+
+func TestDBSCANPartitionFlag(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := RunDatagen([]string{"-dataset", "c10k", "-scale", "0.2", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "c10k.txt")
+
+	// Both modes must report the same clustering; cell mode must print
+	// its shuffle diagnostics instead of a full-dataset broadcast.
+	out.Reset()
+	if err := RunDBSCAN([]string{"-in", in, "-eps", "25", "-minpts", "5",
+		"-cores", "4", "-partition", "range"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	rangeOut := out.String()
+	if !strings.Contains(rangeOut, "partitioning: range") {
+		t.Fatalf("range output:\n%s", rangeOut)
+	}
+
+	out.Reset()
+	if err := RunDBSCAN([]string{"-in", in, "-eps", "25", "-minpts", "5",
+		"-cores", "4", "-partition", "cell", "-cellpoints", "200"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	cellOut := out.String()
+	for _, want := range []string{"partitioning: cell", "halo replicas", "axes split"} {
+		if !strings.Contains(cellOut, want) {
+			t.Fatalf("cell output lacks %q:\n%s", want, cellOut)
+		}
+	}
+	for _, line := range []string{"clusters:", "noise:"} {
+		r := rangeOut[strings.Index(rangeOut, line):][:20]
+		c := cellOut[strings.Index(cellOut, line):][:20]
+		if r != c {
+			t.Fatalf("modes disagree: %q vs %q", r, c)
+		}
+	}
+
+	// Cell mode is a distributed construct.
+	if err := RunDBSCAN([]string{"-in", in, "-partition", "cell"}, &out); err == nil {
+		t.Fatal("cell mode without -cores accepted")
+	}
+	if err := RunDBSCAN([]string{"-in", in, "-cores", "4", "-partition", "hex"}, &out); err == nil {
+		t.Fatal("unknown partition mode accepted")
+	}
+}
+
+func TestBenchPartBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_partition.json")
+	var out bytes.Buffer
+	err := RunBench([]string{"-partbench", path, "-smoke"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	for _, want := range []string{"bcast/exec", "range", "cell", "labels across modes: identical", "(proj)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}

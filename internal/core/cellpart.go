@@ -1,0 +1,411 @@
+package core
+
+import (
+	"sort"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/spark"
+)
+
+// cellEmit is one map-side shuffle record: point idx goes to cell
+// (either as its home point or as an eps-halo replica).
+type cellEmit struct {
+	cell string // packed-coords cell key (CellGrid.KeyOf)
+	idx  int32
+	halo bool
+}
+
+// cellInput is one non-empty cell's materialized reduce-side input:
+// the points homed there plus the halo replicas it received, both in
+// ascending global index order.
+type cellInput struct {
+	key  string // grid cell key (diagnostics; tasks use the dense index)
+	home []int32
+	halo []int32
+}
+
+// cellPlan is the only thing cell mode broadcasts: the grid geometry,
+// the local options and the cell→task assignment — O(cells) bytes,
+// instead of range mode's O(n) dataset + tree payload.
+type cellPlan struct {
+	Grid   *CellGrid
+	Opts   LocalOptions
+	Starts []int32 // task t owns dense cells [Starts[t], Starts[t+1])
+}
+
+// cellPartitioner implements eps-halo cell partitioning: a map stage
+// assigns every point to its home cell and replicates it into each
+// neighbor cell whose envelope is within eps, a shuffle groups the
+// emissions by cell, and a second stage clusters each cell against a
+// kd-tree built over just that cell's points. No full-dataset
+// broadcast ever happens.
+type cellPartitioner struct{}
+
+func (cellPartitioner) Mode() PartitionMode { return PartCell }
+
+func (cellPartitioner) distributeAndCluster(env *stageEnv, ds *geom.Dataset) error {
+	sctx, cfg := env.sctx, env.cfg
+	n := ds.Len()
+	env.res.Dist = DistStats{Mode: PartCell.String()}
+	if n == 0 {
+		return nil
+	}
+	pointBytes := int64(ds.Dim*8 + 4)
+
+	// Plan the grid in the driver: one bounds scan plus the cell-side
+	// derivation. This is the entire driver-side preprocessing — no
+	// global kd-tree is built.
+	var grid *CellGrid
+	d0 := env.driverSeconds()
+	err := sctx.RunInDriver("partition plan", func(w *simtime.Work) error {
+		g, err := PlanCellGrid(ds, cfg.Params.Eps, cfg.Cell.CellSide, cfg.Cell.TargetPointsPerCell)
+		if err != nil {
+			return err
+		}
+		grid = g
+		w.Elems += int64(n) + g.PlanOps // bounds scan + sampled side search
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	env.res.Phases.Plan = env.driverSeconds() - d0
+
+	// Map stage: each task quantizes its slice of points and emits one
+	// record per (point, receiving cell). Emissions travel through an
+	// accumulator so task retries stay exactly-once; the per-byte
+	// shuffle write leg is charged here, the read leg in the cell
+	// stage. Coordinates are read from the task's own input split —
+	// narrow, no broadcast needed.
+	indices := make([]int32, n)
+	for i := range indices {
+		indices[i] = int32(i)
+	}
+	rdd := spark.Parallelize(sctx, indices, cfg.Partitions)
+	rdd.SetSizeFunc(func(int32) int64 { return pointBytes })
+	emitAcc := spark.SliceAccumulator[cellEmit](sctx)
+
+	e0 := env.executorSeconds()
+	err = rdd.ForeachPartition(func(split int, in []int32, tc *spark.TaskContext) error {
+		var w simtime.Work
+		emits := make([]cellEmit, 0, len(in))
+		for _, idx := range in {
+			p := ds.At(idx)
+			w.Elems++ // quantize to the home cell
+			emits = append(emits, cellEmit{grid.KeyOf(p), idx, false})
+			w.HashOps++
+			w.ShuffleBytes += pointBytes
+			w.Elems += grid.HaloCells(p, func(key string) {
+				emits = append(emits, cellEmit{key, idx, true})
+				w.HashOps++
+				w.ShuffleBytes += pointBytes
+				w.HaloPoints++
+			})
+		}
+		tc.Charge(w)
+		emitAcc.Add(tc, emits)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	mapSeconds := env.executorSeconds() - e0
+
+	// Group the emissions into per-cell inputs. This stands in for the
+	// shuffle files on executor-local disk: the write leg was charged
+	// to the map tasks above, the read leg is charged to the cell tasks
+	// below, and the grouping itself is deterministic — sorted by
+	// (cell, index), independent of commit order.
+	emits := emitAcc.Value()
+	sort.Slice(emits, func(i, j int) bool {
+		if emits[i].cell != emits[j].cell {
+			return emits[i].cell < emits[j].cell
+		}
+		return emits[i].idx < emits[j].idx
+	})
+	var cells []cellInput
+	var readBytes int64
+	var haloCount int64
+	for i := 0; i < len(emits); {
+		j := i
+		for j < len(emits) && emits[j].cell == emits[i].cell {
+			j++
+		}
+		ci := cellInput{key: emits[i].cell}
+		for _, e := range emits[i:j] {
+			if e.halo {
+				ci.halo = append(ci.halo, e.idx)
+				haloCount++
+			} else {
+				ci.home = append(ci.home, e.idx)
+			}
+		}
+		// A cell that received only halo replicas owns nothing and gets
+		// no task; the map side already paid for the wasted copies.
+		if len(ci.home) > 0 {
+			readBytes += pointBytes * int64(len(ci.home)+len(ci.halo))
+			cells = append(cells, ci)
+		}
+		i = j
+	}
+
+	// Assign cells to tasks with longest-processing-time-first over a
+	// quadratic work proxy: a cell's clustering cost is dominated by
+	// home queries scanning home+halo candidates, so home·(home+halo)
+	// tracks it far better than raw point counts — balancing by counts
+	// alone lets one dense cell serialize its task. The assignment is
+	// deterministic (stable sort, lowest-index least-loaded task) and
+	// the cells slice is permuted so each task owns a contiguous run.
+	tasks := cfg.Partitions
+	if tasks > len(cells) {
+		tasks = len(cells)
+	}
+	order := make([]int, len(cells))
+	proxy := make([]int64, len(cells))
+	for i, cl := range cells {
+		order[i] = i
+		nl := int64(len(cl.home) + len(cl.halo))
+		proxy[i] = int64(len(cl.home))*nl + nl
+	}
+	sort.SliceStable(order, func(a, b int) bool { return proxy[order[a]] > proxy[order[b]] })
+	taskOf := make([]int, len(cells))
+	loads := make([]int64, tasks)
+	for _, ci := range order {
+		least := 0
+		for t := 1; t < tasks; t++ {
+			if loads[t] < loads[least] {
+				least = t
+			}
+		}
+		taskOf[ci] = least
+		loads[least] += proxy[ci]
+	}
+	packed := make([]cellInput, 0, len(cells))
+	starts := make([]int32, 1, tasks+1)
+	for t := 0; t < tasks; t++ {
+		for ci, cl := range cells {
+			if taskOf[ci] == t {
+				packed = append(packed, cl)
+			}
+		}
+		starts = append(starts, int32(len(packed)))
+	}
+	cells = packed
+
+	// Broadcast the plan: grid geometry, options, cell→task table.
+	// O(cells) bytes — this is the line that replaces range mode's
+	// O(n) dataset+tree payload.
+	bcBytes := grid.SizeBytes() + int64(len(cells))*int64(4*ds.Dim) + int64(len(starts))*4 + 64
+	d0 = env.driverSeconds()
+	bc := spark.NewBroadcast(sctx, cellPlan{Grid: grid, Opts: env.opts, Starts: starts}, bcBytes)
+	env.res.Phases.Broadcast = env.driverSeconds() - d0
+
+	// Cell stage: each task reads its cells' shuffle input, builds a
+	// per-cell kd-tree and clusters the cell's home points. Partial
+	// clusters flow through the same accumulator as range mode, so
+	// journaling and driver-crash replay work unchanged.
+	taskIDs := make([]int32, tasks)
+	for t := range taskIDs {
+		taskIDs[t] = int32(t)
+	}
+	cellRDD := spark.Parallelize(sctx, taskIDs, tasks)
+	e0 = env.executorSeconds()
+	err = cellRDD.ForeachPartition(func(split int, _ []int32, tc *spark.TaskContext) error {
+		plan := bc.Value()
+		var w simtime.Work
+		for ci := plan.Starts[split]; ci < plan.Starts[split+1]; ci++ {
+			cell := cells[ci]
+			nLocal := int64(len(cell.home) + len(cell.halo))
+			w.ShuffleBytes += pointBytes * nLocal // shuffle read leg
+			w.HashOps += nLocal                   // group records by cell
+			lr, err := cellLocalDBSCAN(ds, cell, int32(ci), plan.Opts, cfg.LeafSize)
+			if err != nil {
+				return err
+			}
+			chargeClusterTransfer(&w, lr.Clusters)
+			w.Add(lr.Work)
+			env.acc.Add(tc, lr.Clusters)
+			env.noise.Add(tc, int64(lr.LocalNoise))
+			env.stats.Add(tc, lr.Stats)
+		}
+		tc.Charge(w)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	env.res.Phases.Executors = mapSeconds + (env.executorSeconds() - e0)
+
+	env.res.Dist = DistStats{
+		Mode:           PartCell.String(),
+		Tasks:          tasks,
+		BroadcastBytes: bcBytes,
+		ShuffleBytes:   int64(len(emits))*pointBytes + readBytes,
+		HaloPoints:     int64(len(emits)) - int64(n),
+		Cells:          len(cells),
+		GridCells:      grid.NumCells(),
+		CellSide:       grid.SplitSide,
+		SplitAxes:      grid.SplitAxes,
+		Ring:           grid.Ring,
+	}
+	return nil
+}
+
+// cellLocalDBSCAN clusters one cell: it assembles the cell's local
+// dataset (home points first, then halo replicas), builds a kd-tree
+// over it, and runs the SeedExact expansion over home points only.
+// Halo points are never expanded — a home core within eps of a foreign
+// core records it as a Seed, and the driver's canonical merge unions
+// the two cells' clusters through it. Emitted indices are global.
+func cellLocalDBSCAN(ds *geom.Dataset, cell cellInput, rank int32,
+	opts LocalOptions, leafSize int) (*LocalResult, error) {
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	res := &LocalResult{Partition: int(rank)}
+	nHome := len(cell.home)
+	if nHome == 0 {
+		return res, nil
+	}
+	nLocal := nHome + len(cell.halo)
+	w := &res.Work
+
+	// Assemble the local dataset; local index k maps to global ids[k],
+	// home points occupy [0, nHome).
+	local := geom.NewDataset(nLocal, ds.Dim)
+	ids := make([]int32, nLocal)
+	for k, gi := range cell.home {
+		local.Set(int32(k), ds.At(gi))
+		ids[k] = gi
+	}
+	for k, gi := range cell.halo {
+		local.Set(int32(nHome+k), ds.At(gi))
+		ids[nHome+k] = gi
+	}
+	w.Elems += int64(nLocal)
+
+	// The per-cell tree: built executor-side, over this cell only.
+	var tree *kdtree.Tree
+	if leafSize > 0 {
+		tree = kdtree.BuildLeafSize(local, leafSize)
+	} else {
+		tree = kdtree.Build(local)
+	}
+	w.TreeBuildOps += tree.BuildOps()
+
+	eps, minPts := opts.Params.Eps, opts.Params.MinPts
+	visited := make([]bool, nHome)
+	isCore := make([]bool, nHome)
+	clusterOf := make([]int32, nHome)
+	for i := range clusterOf {
+		clusterOf[i] = -1
+	}
+	// Per-cluster dedup stamps for Seeds and Borders (epoch = Seq+1).
+	seen := make([]int32, nLocal)
+
+	var queue dbscan.Queue
+	var neighbors []int32
+	query := func(q []float64) []int32 {
+		if opts.MaxNeighbors > 0 {
+			return tree.RadiusLimit(q, eps, opts.MaxNeighbors, neighbors[:0], &res.Stats)
+		}
+		return tree.Radius(q, eps, neighbors[:0], &res.Stats)
+	}
+
+	for i := 0; i < nHome; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		w.HashOps++
+		neighbors = query(local.At(int32(i)))
+		if len(neighbors) < minPts {
+			continue
+		}
+		isCore[i] = true
+		pc := PartialCluster{Partition: rank, Seq: int32(len(res.Clusters))}
+		clusterOf[i] = pc.Seq
+		pc.Members = append(pc.Members, ids[i])
+		epoch := pc.Seq + 1
+
+		queue.Reset()
+		for _, nb := range neighbors {
+			queue.Push(nb)
+		}
+		w.QueueOps += int64(len(neighbors))
+
+		for !queue.Empty() {
+			p := queue.Pop()
+			w.QueueOps++
+			if int(p) >= nHome {
+				// Halo replica: record as a Seed. The driver resolves
+				// its coreness — a seed that is a Member in its own
+				// cell is core and drives a union; one that is not
+				// becomes a border of the lowest claiming cluster.
+				w.HashOps++
+				if seen[p] != epoch {
+					seen[p] = epoch
+					pc.Seeds = append(pc.Seeds, ids[p])
+				}
+				continue
+			}
+			if !visited[p] {
+				visited[p] = true
+				w.HashOps++
+				neighbors = query(local.At(p))
+				if len(neighbors) >= minPts {
+					isCore[p] = true
+					for _, nb := range neighbors {
+						queue.Push(nb)
+					}
+					w.QueueOps += int64(len(neighbors))
+				}
+			}
+			if isCore[p] {
+				if clusterOf[p] < 0 {
+					clusterOf[p] = pc.Seq
+					pc.Members = append(pc.Members, ids[p])
+				}
+			} else if seen[p] != epoch {
+				seen[p] = epoch
+				pc.Borders = append(pc.Borders, ids[p])
+				if clusterOf[p] < 0 {
+					clusterOf[p] = pc.Seq // claimed: not local noise
+				}
+			}
+			w.HashOps++
+		}
+		res.Clusters = append(res.Clusters, pc)
+	}
+
+	if opts.MinClusterSize > 1 {
+		kept := res.Clusters[:0:0]
+		for _, pc := range res.Clusters {
+			if pc.Size() >= opts.MinClusterSize {
+				kept = append(kept, pc)
+				continue
+			}
+			res.DroppedClusters++
+			for _, m := range pc.Members {
+				// home is sorted ascending, so the global id maps back
+				// to its local slot by binary search.
+				li := sort.Search(nHome, func(k int) bool { return cell.home[k] >= m })
+				clusterOf[li] = -1
+			}
+		}
+		res.Clusters = kept
+	}
+
+	for _, c := range clusterOf {
+		if c < 0 {
+			res.LocalNoise++
+		}
+	}
+	w.KDNodes += res.Stats.NodesVisited
+	w.KDIncluded += res.Stats.NodesIncluded
+	w.DistComps += res.Stats.DistComps
+	return res, nil
+}

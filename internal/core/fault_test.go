@@ -57,14 +57,29 @@ func faultSeeds(t *testing.T) []uint64 {
 // pipeline produces bit-identical labels and partial-cluster counts
 // (the latter flows through an accumulator and the journal, so this
 // also checks exactly-once semantics under retries and exactly-once
-// journal replay), while the faults strictly cost time.
+// journal replay), while the faults strictly cost time. The property
+// holds in both partitioning modes: under PartCell the executor
+// crashes hit the cell shuffle's map stage too, and the driver crash
+// forces the cluster-graph union to rerun on journal-replayed
+// partials.
 func TestFaultSchedulesNeverChangeLabels(t *testing.T) {
+	for _, mode := range []PartitionMode{PartRange, PartCell} {
+		t.Run(mode.String(), func(t *testing.T) {
+			testFaultInvariance(t, mode)
+		})
+	}
+}
+
+func testFaultInvariance(t *testing.T, mode PartitionMode) {
 	ds := testDataset(t, "c10k", 2500)
 	run := func(p *spark.FaultProfile, storage *StorageOptions) (*Result, spark.Report) {
 		sctx := spark.NewContext(spark.Config{
 			Cores: 16, CoresPerExecutor: 4, Seed: 42, Faults: p,
 		})
-		res, err := Run(sctx, ds, Config{Params: tableParams, Partitions: 8, Storage: storage})
+		res, err := Run(sctx, ds, Config{
+			Params: tableParams, Partitions: 8, Storage: storage,
+			Partitioning: mode, Cell: CellOptions{TargetPointsPerCell: 250},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -103,6 +103,14 @@ func LocalDBSCAN(ds *geom.Dataset, idx kdtree.Index, part Partitioner, split int
 	if opts.SeedMode == SeedCore {
 		coreSeen = make([]uint8, ds.Len())
 	}
+	// SeedExact tracks which owned points proved core, because only
+	// cores become Members; reached non-cores go to Borders of every
+	// reaching cluster (foreignSeen doubles as the per-cluster dedup
+	// stamp for owned borders — it is indexed by global point index).
+	var coreLocal []bool
+	if opts.SeedMode == SeedExact {
+		coreLocal = make([]bool, local)
+	}
 
 	var queue dbscan.Queue
 	// neighbors is the single reusable query buffer. Invariant: every
@@ -141,6 +149,9 @@ func LocalDBSCAN(ds *geom.Dataset, idx kdtree.Index, part Partitioner, split int
 		}
 		clusterOf[li] = pc.Seq
 		pc.Members = append(pc.Members, i)
+		if coreLocal != nil {
+			coreLocal[li] = true
+		}
 		// Opening a new cluster invalidates the previous cluster's
 		// seed/seen stamps in O(1).
 		epoch := pc.Seq + 1
@@ -165,7 +176,7 @@ func LocalDBSCAN(ds *geom.Dataset, idx kdtree.Index, part Partitioner, split int
 						seedPlaced[owner] = epoch
 						pc.Seeds = append(pc.Seeds, p)
 					}
-				case SeedAll:
+				case SeedAll, SeedExact:
 					if foreignSeen[p] != epoch {
 						foreignSeen[p] = epoch
 						pc.Seeds = append(pc.Seeds, p)
@@ -198,21 +209,42 @@ func LocalDBSCAN(ds *geom.Dataset, idx kdtree.Index, part Partitioner, split int
 				w.HashOps++
 				neighbors = query(ds.At(p))
 				if len(neighbors) >= minPts {
+					if coreLocal != nil {
+						coreLocal[pl] = true
+					}
 					for _, nb := range neighbors {
 						queue.Push(nb)
 					}
 					w.QueueOps += int64(len(neighbors))
 				}
 			}
-			if clusterOf[pl] < 0 {
+			if opts.SeedMode == SeedExact {
+				// Cores join exactly one cluster as Members; non-cores
+				// are recorded as Borders by every cluster that reaches
+				// them, so the driver can award them canonically.
+				if coreLocal[pl] {
+					if clusterOf[pl] < 0 {
+						clusterOf[pl] = pc.Seq
+						pc.Members = append(pc.Members, p)
+					}
+				} else if foreignSeen[p] != epoch {
+					foreignSeen[p] = epoch
+					pc.Borders = append(pc.Borders, p)
+					if clusterOf[pl] < 0 {
+						clusterOf[pl] = pc.Seq // claimed: not local noise
+					}
+				}
+			} else if clusterOf[pl] < 0 {
 				clusterOf[pl] = pc.Seq
 				pc.Members = append(pc.Members, p)
 			}
 			w.HashOps++
 		}
 		res.Clusters = append(res.Clusters, pc)
-		w.KDNodes += int64(part.Parts()) * seedPlaceNodeVisits
-		w.DistComps += int64(part.Parts()) * seedPlaceDistComps
+		if opts.SeedMode != SeedExact {
+			w.KDNodes += int64(part.Parts()) * seedPlaceNodeVisits
+			w.DistComps += int64(part.Parts()) * seedPlaceDistComps
+		}
 	}
 
 	if opts.MinClusterSize > 1 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"sparkdbscan/internal/dbscan"
 	"sparkdbscan/internal/dsu"
@@ -22,6 +23,19 @@ const (
 	// pulling its master cluster into the current one. It can miss
 	// transitive merges (see the merge ablation and its tests).
 	MergePaper
+	// MergeCanonical resolves the cluster graph with union-find like
+	// MergeUnionFind, then labels canonically: components are numbered
+	// by their globally lowest-index core point (each SeedExact
+	// partial's Members[0]) ascending, and border points take the
+	// *minimum* label among all clusters claiming them. With partials
+	// produced under SeedExact this reproduces sequential DBSCAN's
+	// labels byte for byte — sequential numbers clusters by lowest core
+	// index too, and expands whole clusters in label order, so a shared
+	// border always keeps the lowest claiming label — and it is
+	// independent of the order partials arrive in, unlike the
+	// first-appearance painting of the other two algorithms. See
+	// DESIGN.md §13.
+	MergeCanonical
 )
 
 func (m MergeAlgo) String() string {
@@ -30,6 +44,8 @@ func (m MergeAlgo) String() string {
 		return "unionfind"
 	case MergePaper:
 		return "paper"
+	case MergeCanonical:
+		return "canonical"
 	default:
 		return fmt.Sprintf("MergeAlgo(%d)", int(m))
 	}
@@ -130,6 +146,18 @@ func Merge(partials []PartialCluster, n int, opts MergeOptions) *GlobalResult {
 		componentOf = mergeUnionFind(partials, masterOf, res)
 	}
 
+	if opts.Algo == MergeCanonical {
+		canonicalLabels(partials, componentOf, masterOf, res)
+		res.NumNoise = 0
+		for _, l := range res.Labels {
+			if l == dbscan.Noise {
+				res.NumNoise++
+			}
+		}
+		w.MergeOps += int64(n) // final label scan
+		return res
+	}
+
 	// Assemble labels: relabel components densely in order of first
 	// appearance, then paint members, seeds and borders (seeds are
 	// elements of the merged cluster, Figure 4b). First writer wins on
@@ -195,6 +223,89 @@ func mergeUnionFind(partials []PartialCluster, masterOf []int32, res *GlobalResu
 		comp[i] = d.Find(int32(i))
 	}
 	return comp
+}
+
+// canonicalLabels implements MergeCanonical's label assembly. It
+// assumes the SeedExact contract: Members hold only core points with
+// Members[0] the partial's lowest-index core, Seeds hold reached
+// foreign points (core iff a member somewhere), Borders hold reached
+// non-core points. Every step is a pure function of the partial-cluster
+// *set* — min/sort over commutative reductions — so the result cannot
+// depend on accumulator commit order.
+func canonicalLabels(partials []PartialCluster, componentOf, masterOf []int32, res *GlobalResult) {
+	w := &res.Work
+
+	// Each component's canonical id is the minimum Members[0] across its
+	// partials: the globally lowest-index core point of the merged
+	// cluster — exactly the point at which sequential DBSCAN opens that
+	// cluster.
+	minCore := make(map[int32]int32, len(partials))
+	for ci := range partials {
+		if len(partials[ci].Members) == 0 {
+			continue // defensive: SeedExact never emits memberless partials
+		}
+		comp := componentOf[ci]
+		start := partials[ci].Members[0]
+		if cur, ok := minCore[comp]; !ok || start < cur {
+			minCore[comp] = start
+		}
+		w.MergeOps++
+	}
+
+	// Number components by ascending canonical core index — sequential
+	// DBSCAN's cluster numbering.
+	type compStart struct{ comp, start int32 }
+	order := make([]compStart, 0, len(minCore))
+	for comp, start := range minCore {
+		order = append(order, compStart{comp, start})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].start < order[j].start })
+	w.SortComps += sortCost(len(order))
+	compLabel := make(map[int32]int32, len(order))
+	for i, cs := range order {
+		compLabel[cs.comp] = int32(i)
+	}
+	res.NumClusters = len(order)
+
+	// Cores first: every member belongs to exactly one partial, so this
+	// is a plain assignment.
+	for ci := range partials {
+		lbl, ok := compLabel[componentOf[ci]]
+		if !ok {
+			continue
+		}
+		for _, pt := range partials[ci].Members {
+			res.Labels[pt] = lbl
+			w.MergeOps++
+		}
+	}
+	// Borders second: a non-core point reached by several clusters takes
+	// the minimum claiming label — sequential DBSCAN expands clusters
+	// fully in label order, so the first (lowest-label) cluster to reach
+	// a border adopts it. Seeds that are members somewhere are cores,
+	// already painted above.
+	claim := func(pt, lbl int32) {
+		w.MergeOps++
+		if res.Labels[pt] == dbscan.Noise || lbl < res.Labels[pt] {
+			res.Labels[pt] = lbl
+		}
+	}
+	for ci := range partials {
+		lbl, ok := compLabel[componentOf[ci]]
+		if !ok {
+			continue
+		}
+		for _, pt := range partials[ci].Seeds {
+			if masterOf[pt] < 0 {
+				claim(pt, lbl)
+			} else {
+				w.MergeOps++
+			}
+		}
+		for _, pt := range partials[ci].Borders {
+			claim(pt, lbl)
+		}
+	}
 }
 
 // mergePaper is Algorithm 4 verbatim: one pass, current cluster absorbs

@@ -23,6 +23,19 @@ const (
 	// trigger a merge. This makes parallel core co-clustering exactly
 	// equal to sequential DBSCAN.
 	SeedCore
+	// SeedExact produces partial clusters whose canonical merge
+	// (MergeCanonical) is byte-identical to sequential DBSCAN,
+	// independent of partition shape or accumulator commit order:
+	// Members holds only *core* owned points (Members[0] is the
+	// lowest-index core, because the local scan proceeds in ascending
+	// index order), every owned non-core point reached goes to Borders
+	// of EVERY cluster that reaches it, and every foreign point reached
+	// goes to Seeds (its coreness is resolved at the driver: a seed that
+	// is a member somewhere is core, one that is a member nowhere is a
+	// border). No extra queries, no per-partition seed placement charge
+	// — this is the cell-partitioning local contract, also usable with
+	// index ranges.
+	SeedExact
 )
 
 func (m SeedMode) String() string {
@@ -33,6 +46,8 @@ func (m SeedMode) String() string {
 		return "all"
 	case SeedCore:
 		return "core"
+	case SeedExact:
+		return "exact"
 	default:
 		return fmt.Sprintf("SeedMode(%d)", int(m))
 	}

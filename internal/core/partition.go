@@ -71,10 +71,3 @@ func (p Partitioner) Owner(idx int32) int {
 	}
 	return p.extra + (i-p.extra*wide)/p.base
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -35,6 +35,15 @@ type Config struct {
 	// the paper's §VI future work. Labels in the result refer to the
 	// original point order regardless.
 	SpatialPartitioning bool
+	// Partitioning selects how points reach executors: PartRange (the
+	// paper's index ranges over a full-dataset broadcast, the default)
+	// or PartCell (grid cells with eps-halo replication over a
+	// shuffle). Cell mode forces SeedExact and MergeCanonical so its
+	// labels are pinned byte-identical to range mode and sequential
+	// DBSCAN; see DESIGN.md §13.
+	Partitioning PartitionMode
+	// Cell tunes PartCell; ignored under PartRange.
+	Cell CellOptions
 	// LeafSize overrides the kd-tree bucket size (0 = default).
 	LeafSize int
 	// Storage, when set with a non-nil FS, journals committed partial
@@ -59,11 +68,15 @@ type Phases struct {
 	// Journal is driver time spent writing the partial-cluster journal
 	// (plus re-replication repair work). Zero without StorageOptions.
 	Journal float64
+	// Plan is driver time spent planning the cell grid (bounds scan +
+	// side derivation). Zero under PartRange, so legacy decompositions
+	// are unchanged.
+	Plan float64
 }
 
 // Driver returns the total driver-side time.
 func (p Phases) Driver() float64 {
-	return p.ReadTransform + p.TreeBuild + p.Broadcast + p.Merge + p.Journal
+	return p.ReadTransform + p.TreeBuild + p.Broadcast + p.Merge + p.Journal + p.Plan
 }
 
 // Total returns driver + executor time.
@@ -81,6 +94,10 @@ type Result struct {
 	// Recovery summarizes journal and driver-recovery activity; zero
 	// without StorageOptions.
 	Recovery RecoveryReport
+	// Dist describes how points were distributed to executors
+	// (partitioning mode, broadcast vs shuffle volume, halo
+	// replication).
+	Dist DistStats
 }
 
 // broadcastPayload is what the driver ships to every executor: the
@@ -107,10 +124,6 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 	if cfg.Partitions > n && n > 0 {
 		cfg.Partitions = n
 	}
-	part, err := NewPartitioner(n, cfg.Partitions)
-	if err != nil {
-		return nil, err
-	}
 
 	// A StorageOptions without a filesystem is inert: the run is
 	// byte-identical to one with no storage options at all.
@@ -129,7 +142,6 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 
 	res := &Result{}
 	driverBefore := func() float64 { return sctx.Report().DriverSeconds }
-	execBefore := func() float64 { return sctx.Report().ExecutorSeconds }
 
 	// Phase 1: Δ — read the input from the (simulated) distributed
 	// filesystem and transform it into Point RDD form (Algorithm 2
@@ -139,7 +151,7 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 	// such) and the rest of the pipeline runs on the reordered data.
 	var order []int32
 	d0 := driverBefore()
-	err = sctx.RunInDriver("read+transform", func(w *simtime.Work) error {
+	err := sctx.RunInDriver("read+transform", func(w *simtime.Work) error {
 		if st != nil && st.InputFile != "" {
 			// Read the named input through the replica-failover path,
 			// so corrupt blocks and dead datanodes cost ingestion time.
@@ -163,49 +175,23 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 	}
 	res.Phases.ReadTransform = driverBefore() - d0
 
-	// Phase 2: build the kd-tree in the driver.
-	var tree *kdtree.Tree
-	d0 = driverBefore()
-	err = sctx.RunInDriver("kdtree build", func(w *simtime.Work) error {
-		if cfg.LeafSize > 0 {
-			tree = kdtree.BuildLeafSize(ds, cfg.LeafSize)
-		} else {
-			tree = kdtree.Build(ds)
-		}
-		w.TreeBuildOps += tree.BuildOps()
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	res.Phases.TreeBuild = driverBefore() - d0
-
-	// Phase 3: broadcast dataset + tree + parameters + partition table.
+	// Phases 2–4: hand the dataset to the selected spatial partitioner,
+	// which distributes points to executors (broadcast or shuffle),
+	// runs the local clustering and returns partial clusters through
+	// the accumulator.
 	opts := LocalOptions{
 		Params:         cfg.Params,
 		SeedMode:       cfg.SeedMode,
 		MaxNeighbors:   cfg.MaxNeighbors,
 		MinClusterSize: cfg.MinLocalClusterSize,
 	}
-	d0 = driverBefore()
-	bc := spark.NewBroadcast(sctx, broadcastPayload{
-		DS:   ds,
-		Tree: tree,
-		Part: part,
-		Opts: opts,
-	}, ds.SizeBytes()+tree.MemoryBytes()+64)
-	res.Phases.Broadcast = driverBefore() - d0
-
-	// Phase 4: the executor stage (Algorithm 2 lines 4–29). The RDD
-	// carries the point indices; coordinates travel via the broadcast.
-	indices := make([]int32, n)
-	for i := range indices {
-		indices[i] = int32(i)
+	if cfg.Partitioning == PartCell {
+		// Cell mode pins the exact-seed / canonical-merge pair: labels
+		// become a pure function of the point set and parameters,
+		// independent of grid shape and accumulator commit order.
+		opts.SeedMode = SeedExact
+		cfg.Merge.Algo = MergeCanonical
 	}
-	rdd := spark.Parallelize(sctx, indices, cfg.Partitions)
-	// Each RDD element stands for one Point record of d float64s.
-	pointBytes := int64(ds.Dim*8 + 4)
-	rdd.SetSizeFunc(func(int32) int64 { return pointBytes })
 
 	acc := spark.SliceAccumulator[PartialCluster](sctx)
 	var jr *journal
@@ -220,36 +206,18 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 	statsAcc := spark.NewAccumulator(sctx, kdtree.SearchStats{},
 		func(a, b kdtree.SearchStats) kdtree.SearchStats { a.Add(b); return a })
 
-	e0 := execBefore()
-	err = rdd.ForeachPartition(func(split int, in []int32, tc *spark.TaskContext) error {
-		payload := bc.Value()
-		lo, hi := payload.Part.Range(split)
-		if len(in) != int(hi-lo) {
-			return fmt.Errorf("core: partition %d got %d points, expected %d", split, len(in), hi-lo)
-		}
-		lr, err := LocalDBSCAN(payload.DS, payload.Tree, payload.Part, split, payload.Opts)
-		if err != nil {
-			return err
-		}
-		// Send partial clusters to the driver through the accumulator
-		// (Algorithm 2 lines 26–28); charge the transfer.
-		var w simtime.Work
-		for i := range lr.Clusters {
-			sz := lr.Clusters[i].SizeBytes()
-			w.SerBytes += sz
-			w.NetBytes += sz
-		}
-		w.Add(lr.Work)
-		tc.Charge(w)
-		acc.Add(tc, lr.Clusters)
-		noiseAcc.Add(tc, int64(lr.LocalNoise))
-		statsAcc.Add(tc, lr.Stats)
-		return nil
-	})
-	if err != nil {
+	env := &stageEnv{
+		sctx:  sctx,
+		cfg:   &cfg,
+		opts:  opts,
+		acc:   acc,
+		noise: noiseAcc,
+		stats: statsAcc,
+		res:   res,
+	}
+	if err := newSpatialPartitioner(cfg.Partitioning).distributeAndCluster(env, ds); err != nil {
 		return nil, err
 	}
-	res.Phases.Executors = execBefore() - e0
 
 	partials := acc.Value()
 	res.LocalNoise = int(noiseAcc.Value())

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/simtime"
+	"sparkdbscan/internal/spark"
+)
+
+// PartitionMode selects the SpatialPartitioner implementation.
+type PartitionMode int
+
+const (
+	// PartRange is the paper's design: points are split into contiguous
+	// index ranges and the whole dataset plus its kd-tree is broadcast
+	// to every executor. Broadcast volume is O(n) per executor — the
+	// cost cell mode exists to remove.
+	PartRange PartitionMode = iota
+	// PartCell hashes points to grid cells (side derived from eps and a
+	// target points-per-cell), shuffles each point to its home cell
+	// plus every eps-halo neighbor cell, builds a per-cell kd-tree
+	// executor-side and clusters each cell locally. Per-executor input
+	// is O(n/parts + halo); only the O(cells)-sized grid plan is
+	// broadcast.
+	PartCell
+)
+
+func (m PartitionMode) String() string {
+	switch m {
+	case PartRange:
+		return "range"
+	case PartCell:
+		return "cell"
+	default:
+		return fmt.Sprintf("PartitionMode(%d)", int(m))
+	}
+}
+
+// ParsePartitionMode maps the CLI's -partition flag values.
+func ParsePartitionMode(s string) (PartitionMode, error) {
+	switch s {
+	case "", "range":
+		return PartRange, nil
+	case "cell":
+		return PartCell, nil
+	default:
+		return 0, fmt.Errorf("core: unknown partition mode %q (want range or cell)", s)
+	}
+}
+
+// defaultTargetPointsPerCell sizes derived grids: enough cells to
+// spread across executors, few enough that per-cell kd-trees amortize.
+const defaultTargetPointsPerCell = 2000
+
+// CellOptions tunes PartCell.
+type CellOptions struct {
+	// TargetPointsPerCell guides the derived cell side (0 = default
+	// 2000). Ignored when CellSide is set.
+	TargetPointsPerCell int
+	// CellSide forces the grid edge length. Values below eps are legal:
+	// the halo then spans multiple rings of neighbor cells.
+	CellSide float64
+}
+
+// DistStats describes how one run distributed points to executors.
+type DistStats struct {
+	// Mode is the PartitionMode string ("range" or "cell").
+	Mode string `json:"mode"`
+	// Tasks is the number of local-clustering tasks.
+	Tasks int `json:"tasks"`
+	// BroadcastBytes is the per-executor broadcast payload: dataset +
+	// kd-tree + partition table under range, the grid plan under cell.
+	BroadcastBytes int64 `json:"broadcast_bytes"`
+	// ShuffleBytes is the total byte·leg volume crossing the cell
+	// shuffle (write leg + read leg); zero under range.
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	// HaloPoints counts point replicas emitted into eps-halo neighbor
+	// cells; zero under range.
+	HaloPoints int64 `json:"halo_points"`
+	// Cells is the number of non-empty home cells; GridCells the full
+	// grid size; CellSide, SplitAxes and Ring the planned geometry
+	// (edge length on the split axes, how many axes were split, halo
+	// ring depth). All zero under range.
+	Cells     int     `json:"cells,omitempty"`
+	GridCells int64   `json:"grid_cells,omitempty"`
+	CellSide  float64 `json:"cell_side,omitempty"`
+	SplitAxes int     `json:"split_axes,omitempty"`
+	Ring      int     `json:"ring,omitempty"`
+}
+
+// stageEnv bundles the run state a SpatialPartitioner needs: the Spark
+// context, the (defaulted) config, local options, the accumulators the
+// driver reads afterwards, and the Result whose Phases/Dist fields the
+// implementation fills in.
+type stageEnv struct {
+	sctx  *spark.Context
+	cfg   *Config
+	opts  LocalOptions
+	acc   *spark.Accumulator[[]PartialCluster]
+	noise *spark.Accumulator[int64]
+	stats *spark.Accumulator[kdtree.SearchStats]
+	res   *Result
+}
+
+func (e *stageEnv) driverSeconds() float64   { return e.sctx.Report().DriverSeconds }
+func (e *stageEnv) executorSeconds() float64 { return e.sctx.Report().ExecutorSeconds }
+
+// chargeClusterTransfer prices the accumulator's executor→driver
+// transfer of one task's partial clusters (Algorithm 2 lines 26–28).
+func chargeClusterTransfer(w *simtime.Work, clusters []PartialCluster) {
+	for i := range clusters {
+		sz := clusters[i].SizeBytes()
+		w.SerBytes += sz
+		w.NetBytes += sz
+	}
+}
+
+// SpatialPartitioner runs everything between driver ingestion and the
+// driver merge: getting points to executors and producing partial
+// clusters through the environment's accumulator. Implementations are
+// sealed into this package (the stage environment is internal); select
+// one with Config.Partitioning.
+type SpatialPartitioner interface {
+	Mode() PartitionMode
+	distributeAndCluster(env *stageEnv, ds *geom.Dataset) error
+}
+
+func newSpatialPartitioner(mode PartitionMode) SpatialPartitioner {
+	if mode == PartCell {
+		return cellPartitioner{}
+	}
+	return rangePartitioner{}
+}
+
+// rangePartitioner is the paper-faithful baseline: driver kd-tree over
+// the full dataset, full-payload broadcast, one LocalDBSCAN task per
+// index range.
+type rangePartitioner struct{}
+
+func (rangePartitioner) Mode() PartitionMode { return PartRange }
+
+func (rangePartitioner) distributeAndCluster(env *stageEnv, ds *geom.Dataset) error {
+	sctx, cfg := env.sctx, env.cfg
+	n := ds.Len()
+	part, err := NewPartitioner(n, cfg.Partitions)
+	if err != nil {
+		return err
+	}
+
+	// Build the kd-tree in the driver.
+	var tree *kdtree.Tree
+	d0 := env.driverSeconds()
+	err = sctx.RunInDriver("kdtree build", func(w *simtime.Work) error {
+		if cfg.LeafSize > 0 {
+			tree = kdtree.BuildLeafSize(ds, cfg.LeafSize)
+		} else {
+			tree = kdtree.Build(ds)
+		}
+		w.TreeBuildOps += tree.BuildOps()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	env.res.Phases.TreeBuild = env.driverSeconds() - d0
+
+	// Broadcast dataset + tree + parameters + partition table (§IV-B
+	// lists exactly these).
+	bcBytes := ds.SizeBytes() + tree.MemoryBytes() + 64
+	d0 = env.driverSeconds()
+	bc := spark.NewBroadcast(sctx, broadcastPayload{
+		DS:   ds,
+		Tree: tree,
+		Part: part,
+		Opts: env.opts,
+	}, bcBytes)
+	env.res.Phases.Broadcast = env.driverSeconds() - d0
+
+	// The executor stage (Algorithm 2 lines 4–29). The RDD carries the
+	// point indices; coordinates travel via the broadcast.
+	indices := make([]int32, n)
+	for i := range indices {
+		indices[i] = int32(i)
+	}
+	rdd := spark.Parallelize(sctx, indices, cfg.Partitions)
+	// Each RDD element stands for one Point record of d float64s.
+	pointBytes := int64(ds.Dim*8 + 4)
+	rdd.SetSizeFunc(func(int32) int64 { return pointBytes })
+
+	e0 := env.executorSeconds()
+	err = rdd.ForeachPartition(func(split int, in []int32, tc *spark.TaskContext) error {
+		payload := bc.Value()
+		lo, hi := payload.Part.Range(split)
+		if len(in) != int(hi-lo) {
+			return fmt.Errorf("core: partition %d got %d points, expected %d", split, len(in), hi-lo)
+		}
+		lr, err := LocalDBSCAN(payload.DS, payload.Tree, payload.Part, split, payload.Opts)
+		if err != nil {
+			return err
+		}
+		// Send partial clusters to the driver through the accumulator
+		// (Algorithm 2 lines 26–28); charge the transfer.
+		var w simtime.Work
+		chargeClusterTransfer(&w, lr.Clusters)
+		w.Add(lr.Work)
+		tc.Charge(w)
+		env.acc.Add(tc, lr.Clusters)
+		env.noise.Add(tc, int64(lr.LocalNoise))
+		env.stats.Add(tc, lr.Stats)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	env.res.Phases.Executors = env.executorSeconds() - e0
+
+	env.res.Dist = DistStats{
+		Mode:           PartRange.String(),
+		Tasks:          cfg.Partitions,
+		BroadcastBytes: bcBytes,
+	}
+	return nil
+}

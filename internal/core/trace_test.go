@@ -15,6 +15,10 @@ import (
 // crashes, corrupt replicas, dead datanodes) with or without a tracer
 // attached and returns everything the invariance checks need.
 func tracedRun(t *testing.T, tr *trace.Recorder) (*Result, spark.Report) {
+	return tracedRunMode(t, tr, PartRange)
+}
+
+func tracedRunMode(t *testing.T, tr *trace.Recorder, mode PartitionMode) (*Result, spark.Report) {
 	t.Helper()
 	ds := testDataset(t, "c10k", 2500)
 	fs := hdfs.NewCluster(1<<14, 3, 6)
@@ -33,7 +37,8 @@ func tracedRun(t *testing.T, tr *trace.Recorder) (*Result, spark.Report) {
 		Tracer: tr,
 	})
 	res, err := Run(sctx, ds, Config{
-		Params: tableParams, Partitions: 8,
+		Params: tableParams, Partitions: 8, Partitioning: mode,
+		Cell:    CellOptions{TargetPointsPerCell: 250},
 		Storage: &StorageOptions{FS: fs, InputFile: "input"},
 	})
 	if err != nil {
@@ -98,6 +103,49 @@ func TestCriticalPathMatchesPhases(t *testing.T) {
 	}
 	if len(m.Totals.StorageEvents) == 0 {
 		t.Fatal("no storage events attributed despite storage faults")
+	}
+}
+
+// TestCellModeTracing: the trace subsystem's guarantees extend to the
+// cell partitioner's extra phases (partition plan, map stage, cell
+// stage): the critical path still tiles Phases.Total() exactly, and
+// two identical traced cell runs export byte-identical JSON.
+func TestCellModeTracing(t *testing.T) {
+	export := func() (*Result, []byte, float64) {
+		tr := trace.NewRecorder()
+		res, _ := tracedRunMode(t, tr, PartCell)
+		trJSON, err := tr.ChromeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		segs := tr.CriticalPath()
+		if len(segs) == 0 {
+			t.Fatal("empty critical path")
+		}
+		cur := 0.0
+		for i, s := range segs {
+			if math.Abs(s.Start-cur) > 1e-9 {
+				t.Fatalf("segment %d (%s) starts at %g, previous ended at %g", i, s.Name, s.Start, cur)
+			}
+			cur = s.End
+			sum += s.Seconds
+		}
+		return res, trJSON, sum
+	}
+	res, j1, sum := export()
+	if total := res.Phases.Total(); math.Abs(sum-total) > 1e-9 {
+		t.Fatalf("critical path %.12f != Phases.Total() %.12f (Δ %g)", sum, total, sum-total)
+	}
+	if res.Phases.Plan <= 0 {
+		t.Fatal("cell run recorded no partition-plan phase")
+	}
+	if res.Phases.TreeBuild != 0 {
+		t.Fatalf("cell run charged driver tree build: %g", res.Phases.TreeBuild)
+	}
+	_, j2, _ := export()
+	if !bytes.Equal(j1, j2) {
+		t.Fatal("cell-mode trace JSON differs across identical runs")
 	}
 }
 

@@ -36,6 +36,12 @@ type Work struct {
 	HDFSBytes      int64 // simulated distributed-filesystem reads
 	TaskLaunches   int64 // scheduler task-launch events
 
+	// Cell-partitioning shuffle lines (zero in index-range mode — the
+	// broadcast pipeline never charges them, so pre-cell ledgers are
+	// unchanged).
+	ShuffleBytes int64 // bytes crossing the cell shuffle, one leg each (map write, reduce read)
+	HaloPoints   int64 // point replicas emitted into eps-halo neighbor cells
+
 	// Storage failure-domain lines (zero unless an hdfs
 	// StorageFaultProfile is in play — the clean read path charges
 	// HDFSBytes only, so pre-fault ledgers are unchanged).
@@ -67,6 +73,8 @@ func (w *Work) Add(o Work) {
 	w.NetBytes += o.NetBytes
 	w.HDFSBytes += o.HDFSBytes
 	w.TaskLaunches += o.TaskLaunches
+	w.ShuffleBytes += o.ShuffleBytes
+	w.HaloPoints += o.HaloPoints
 	w.ChecksumBytes += o.ChecksumBytes
 	w.HDFSRereadBytes += o.HDFSRereadBytes
 	w.ReReplBytes += o.ReReplBytes
@@ -96,6 +104,8 @@ type CostModel struct {
 	NetByte       float64
 	HDFSByte      float64
 	TaskLaunch    float64
+	ShuffleByte   float64 // per shuffle byte, per leg (map-side write leg, reduce-side read leg)
+	HaloPoint     float64 // per halo replica: neighbor-cell bookkeeping on top of the byte cost
 	ChecksumByte  float64 // per byte CRC-verified on read
 	HDFSReread    float64 // per byte of a failed-replica re-read
 	ReReplByte    float64 // per byte re-replicated after datanode loss
@@ -123,6 +133,17 @@ type CostModel struct {
 //     two mechanisms (with straggler tails) behind the paper's
 //     efficiency decay at 512 cores.
 //   - TaskLaunch 15 ms: Spark's documented task scheduling overhead.
+//   - Shuffle bytes at ~33 MB/s per leg: the map-side write leg is Java
+//     serialization (~100 MB/s) plus the local-disk spill (~50 MB/s);
+//     the read leg is the remote disk read (~65 MB/s), the network hop
+//     (~100 MB/s) and a light record-stream deserialization — each leg
+//     lands at ~3e-8 s/B, so a byte that crosses the shuffle end to end
+//     costs 6e-8 s. Deliberately NOT the BcastDeser rate: shuffle
+//     records stream through flat buffers instead of rebuilding a boxed
+//     object graph, which is exactly why cell partitioning wins.
+//   - HaloPoint 1 µs: per-replica bookkeeping on the map side (neighbor
+//     cell enumeration output, duplicate-key bucketing) beyond the byte
+//     cost.
 //   - Checksum verification at ~500 MB/s: CRC32 over the read payload
 //     through a 2013 JVM (HDFS verifies every client read).
 //   - Failed-replica re-reads price like ordinary HDFS reads (the bytes
@@ -148,6 +169,8 @@ func DefaultModel() *CostModel {
 		NetByte:       1e-8,
 		HDFSByte:      1e-8,
 		TaskLaunch:    15e-3,
+		ShuffleByte:   3e-8,
+		HaloPoint:     1e-6,
 		ChecksumByte:  2e-9,
 		HDFSReread:    1e-8,
 		ReReplByte:    3e-8,
@@ -172,6 +195,8 @@ func (m *CostModel) Seconds(w Work) float64 {
 		float64(w.NetBytes)*m.NetByte +
 		float64(w.HDFSBytes)*m.HDFSByte +
 		float64(w.TaskLaunches)*m.TaskLaunch +
+		float64(w.ShuffleBytes)*m.ShuffleByte +
+		float64(w.HaloPoints)*m.HaloPoint +
 		float64(w.ChecksumBytes)*m.ChecksumByte +
 		float64(w.HDFSRereadBytes)*m.HDFSReread +
 		float64(w.ReReplBytes)*m.ReReplByte +

@@ -185,13 +185,6 @@ func partitionRange(n, parts, split int) (lo, hi int) {
 	return lo, hi
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // TextFile reads an HDFS file as one partition per block, charging the
 // block reads (the Δ ingestion term) to the reading tasks. Lines are
 // returned unsplit per block; callers parse them.
