@@ -97,6 +97,9 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		partition = fs.String("partition", "range", "spatial partitioning: range (broadcast the dataset) or cell (eps-halo shuffle)")
 		cellPts   = fs.Int("cellpoints", 0, "cell mode: target home points per cell (0 = default)")
 
+		mergeAlgoFlag = fs.String("mergealgo", "", "driver merge: unionfind, paper, canonical, or parallel (default unionfind; canonical/parallel imply exact seeds)")
+		mergeWorkers  = fs.Int("mergeworkers", 0, "driver cores for -mergealgo parallel (0 = default 4)")
+
 		traceOut   = fs.String("trace", "", "write a Chrome/Perfetto trace of the simulated run to this JSON file")
 		metricsOut = fs.String("metrics", "", "write the metrics snapshot (incl. critical path) to this JSON file")
 		gantt      = fs.Bool("gantt", false, "print a per-core ASCII Gantt chart of every executor stage")
@@ -123,6 +126,15 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	if partMode != coredbscan.PartRange && *cores <= 0 {
 		return fmt.Errorf("dbscan: -partition=%s needs a distributed run (-cores > 0)", partMode)
 	}
+	if *mergeAlgoFlag != "" && *cores <= 0 {
+		return fmt.Errorf("dbscan: -mergealgo selects the distributed driver merge; needs -cores > 0")
+	}
+	if *mergeWorkers != 0 && *cores <= 0 {
+		return fmt.Errorf("dbscan: -mergeworkers needs a distributed run (-cores > 0)")
+	}
+	if *mergeWorkers < 0 {
+		return fmt.Errorf("dbscan: -mergeworkers must be >= 0, got %d", *mergeWorkers)
+	}
 	ds, err := loadDataset(*in)
 	if err != nil {
 		return err
@@ -133,6 +145,7 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	numClusters, numNoise, partials := 0, 0, 0
 	var timing coredbscan.Phases
 	var dist coredbscan.DistStats
+	mergeInfo := ""
 	params := dbscan.Params{Eps: *eps, MinPts: *minPts}
 	if *cores <= 0 {
 		res, err := dbscan.Run(ds, kdtree.Build(ds), params)
@@ -157,11 +170,26 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 			seedMode = coredbscan.SeedSingle
 			mergeAlgo = coredbscan.MergePaper
 		}
+		if *mergeAlgoFlag != "" {
+			if *paper {
+				return fmt.Errorf("dbscan: -paper fixes the merge to the paper's Algorithm 4; drop -mergealgo")
+			}
+			mergeAlgo, err = coredbscan.ParseMergeAlgo(*mergeAlgoFlag)
+			if err != nil {
+				return fmt.Errorf("dbscan: %w", err)
+			}
+			if mergeAlgo == coredbscan.MergeCanonical || mergeAlgo == coredbscan.MergeParallel {
+				// Canonical labeling needs the exact-seed partial-cluster
+				// contract (the runner forces this too; set it here so the
+				// summary reflects what actually ran).
+				seedMode = coredbscan.SeedExact
+			}
+		}
 		res, err := coredbscan.Run(sctx, ds, coredbscan.Config{
 			Params:              params,
 			Partitions:          *parts,
 			SeedMode:            seedMode,
-			Merge:               coredbscan.MergeOptions{Algo: mergeAlgo},
+			Merge:               coredbscan.MergeOptions{Algo: mergeAlgo, Workers: *mergeWorkers},
 			MaxNeighbors:        *prune,
 			SpatialPartitioning: *spatial,
 			Partitioning:        partMode,
@@ -175,6 +203,15 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		partials = res.Global.NumPartialClusters
 		timing = res.Phases
 		dist = res.Dist
+		mergeInfo = fmt.Sprintf("merge: %s (%d merges)", mergeAlgo, res.Global.NumMerges)
+		if mergeAlgo == coredbscan.MergeParallel {
+			workers := coredbscan.DefaultMergeWorkers
+			if *mergeWorkers > 0 {
+				workers = *mergeWorkers
+			}
+			mergeInfo = fmt.Sprintf("merge: parallel on %d driver cores (%d merges)",
+				workers, res.Global.NumMerges)
+		}
 
 		if *gantt {
 			for _, s := range rec.Stages() {
@@ -201,6 +238,7 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "noise:    %d\n", numNoise)
 	if *cores > 0 {
 		fmt.Fprintf(stdout, "partial clusters: %d\n", partials)
+		fmt.Fprintf(stdout, "%s\n", mergeInfo)
 		fmt.Fprintf(stdout, "time: driver %.2fs + executors %.2fs = %.2fs\n",
 			timing.Driver(), timing.Executors, timing.Total())
 		fmt.Fprintf(stdout, "partitioning: %s, %d tasks, broadcast %d B/executor\n",
@@ -259,6 +297,9 @@ func RunBench(args []string, stdout io.Writer) error {
 
 		partbench  = fs.String("partbench", "", "run the range-vs-cell partitioning benchmark, write JSON to this path (e.g. BENCH_partition.json), and exit")
 		partpoints = fs.Int("partpoints", 20000, "measured base-run points for -partbench (projections scale from it)")
+
+		mergebench  = fs.String("mergebench", "", "run the sequential-vs-parallel driver-merge benchmark, write JSON to this path (e.g. BENCH_merge.json), and exit")
+		mergepoints = fs.Int("mergepoints", 4000, "dataset points for the -mergebench traced pipeline section")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -271,6 +312,9 @@ func RunBench(args []string, stdout io.Writer) error {
 	}
 	if *partbench != "" {
 		return bench.RunPartBench(stdout, *partbench, *partpoints, *smoke)
+	}
+	if *mergebench != "" {
+		return bench.RunMergeBench(stdout, *mergebench, *mergepoints, *smoke)
 	}
 	if *kdbench != "" {
 		return bench.RunKDBench(stdout, *kdbench, *kdreps)

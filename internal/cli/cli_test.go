@@ -350,6 +350,81 @@ func TestDBSCANPartitionFlag(t *testing.T) {
 	}
 }
 
+func TestDBSCANMergeAlgoFlag(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := RunDatagen([]string{"-dataset", "c10k", "-scale", "0.2", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "c10k.txt")
+
+	// The sequential algorithms and the parallel merge must agree on the
+	// clustering; the parallel run reports its driver cores.
+	var canonicalOut, parallelOut string
+	for _, args := range [][]string{
+		{"-in", in, "-eps", "25", "-minpts", "5", "-cores", "4", "-mergealgo", "canonical"},
+		{"-in", in, "-eps", "25", "-minpts", "5", "-cores", "4", "-mergealgo", "parallel", "-mergeworkers", "8"},
+	} {
+		out.Reset()
+		if err := RunDBSCAN(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		s := out.String()
+		if !strings.Contains(s, "merge: ") {
+			t.Fatalf("summary lacks the merge line:\n%s", s)
+		}
+		if canonicalOut == "" {
+			canonicalOut = s
+		} else {
+			parallelOut = s
+		}
+	}
+	if !strings.Contains(parallelOut, "merge: parallel on 8 driver cores") {
+		t.Fatalf("parallel summary lacks worker count:\n%s", parallelOut)
+	}
+	for _, line := range []string{"clusters:", "noise:", "partial clusters:"} {
+		c := canonicalOut[strings.Index(canonicalOut, line):][:24]
+		p := parallelOut[strings.Index(parallelOut, line):][:24]
+		if c != p {
+			t.Fatalf("merge algorithms disagree: %q vs %q", c, p)
+		}
+	}
+
+	// Validation.
+	if err := RunDBSCAN([]string{"-in", in, "-cores", "4", "-mergealgo", "quantum"}, &out); err == nil {
+		t.Fatal("unknown -mergealgo accepted")
+	}
+	if err := RunDBSCAN([]string{"-in", in, "-cores", "4", "-paper", "-mergealgo", "parallel"}, &out); err == nil {
+		t.Fatal("-paper with -mergealgo accepted")
+	}
+	if err := RunDBSCAN([]string{"-in", in, "-mergealgo", "parallel"}, &out); err == nil {
+		t.Fatal("-mergealgo without -cores accepted")
+	}
+	if err := RunDBSCAN([]string{"-in", in, "-mergeworkers", "4"}, &out); err == nil {
+		t.Fatal("-mergeworkers without -cores accepted")
+	}
+	if err := RunDBSCAN([]string{"-in", in, "-cores", "4", "-mergeworkers", "-2"}, &out); err == nil {
+		t.Fatal("negative -mergeworkers accepted")
+	}
+}
+
+func TestBenchMergeBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_merge.json")
+	var out bytes.Buffer
+	err := RunBench([]string{"-mergebench", path, "-smoke"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("report missing: %v", err)
+	}
+	for _, want := range []string{"speedup", "canonical", "parallel", "critical-path share"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestBenchPartBench(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_partition.json")
 	var out bytes.Buffer

@@ -36,6 +36,17 @@ const (
 	// first-appearance painting of the other two algorithms. See
 	// DESIGN.md §13.
 	MergeCanonical
+	// MergeParallel computes exactly MergeCanonical's output — labels,
+	// NumMerges and the metered Work are pinned byte-identical across
+	// worker counts — but shards the accumulator receive, the masterOf
+	// index build, the seed-graph edge scan (over a concurrent
+	// union-find) and the label-painting passes across
+	// MergeOptions.Workers real goroutines, and prices the phase in
+	// simtime under that many driver cores. Canonical labeling is a pure
+	// function of the partial-cluster set (min/sort over commutative
+	// reductions), which is exactly what makes it parallelizable. See
+	// DESIGN.md §14.
+	MergeParallel
 )
 
 func (m MergeAlgo) String() string {
@@ -46,8 +57,26 @@ func (m MergeAlgo) String() string {
 		return "paper"
 	case MergeCanonical:
 		return "canonical"
+	case MergeParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("MergeAlgo(%d)", int(m))
+	}
+}
+
+// ParseMergeAlgo parses the CLI spelling of a merge algorithm.
+func ParseMergeAlgo(s string) (MergeAlgo, error) {
+	switch s {
+	case "unionfind":
+		return MergeUnionFind, nil
+	case "paper":
+		return MergePaper, nil
+	case "canonical":
+		return MergeCanonical, nil
+	case "parallel":
+		return MergeParallel, nil
+	default:
+		return 0, fmt.Errorf("core: unknown merge algorithm %q (want unionfind, paper, canonical or parallel)", s)
 	}
 }
 
@@ -56,6 +85,11 @@ func (m MergeAlgo) String() string {
 // units (~8 ms per cluster under the default model).
 const perClusterReceiveOps = 6700
 
+// DefaultMergeWorkers is the driver-core count MergeParallel uses when
+// MergeOptions.Workers is zero. A fixed constant rather than
+// runtime.NumCPU() so simulated timings are machine-independent.
+const DefaultMergeWorkers = 4
+
 // MergeOptions configures the driver merge.
 type MergeOptions struct {
 	Algo MergeAlgo
@@ -63,6 +97,23 @@ type MergeOptions struct {
 	// before merging — the paper's r1m filter ("we filter out those
 	// partial clusters whose size is too small"). 0 keeps everything.
 	MinPartialClusterSize int
+	// Workers is the driver-core count MergeParallel shards across:
+	// both the real goroutines that execute the merge and the core
+	// count the phase is priced under in simtime. 0 selects
+	// DefaultMergeWorkers. Ignored by the sequential algorithms.
+	Workers int
+}
+
+// effectiveWorkers returns the driver-core count the merge phase runs
+// (and is priced) under: 1 for the sequential algorithms.
+func (o MergeOptions) effectiveWorkers() int {
+	if o.Algo != MergeParallel {
+		return 1
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return DefaultMergeWorkers
 }
 
 // GlobalResult is the final clustering assembled by the driver.
@@ -83,11 +134,20 @@ type GlobalResult struct {
 	// Work is the metered driver-side merge cost (the paper's O(n+Km)
 	// term).
 	Work simtime.Work
+	// SerialWork is the sub-ledger of Work that cannot leave one driver
+	// core — the input to simtime's ParallelSeconds pricing. For the
+	// sequential algorithms it equals Work (everything is serial); for
+	// MergeParallel it is the single-threaded residue between the
+	// sharded passes (the canonical component sort).
+	SerialWork simtime.Work
 }
 
 // Merge combines the executors' partial clusters into global clusters
 // over n points.
 func Merge(partials []PartialCluster, n int, opts MergeOptions) *GlobalResult {
+	if opts.Algo == MergeParallel {
+		return mergeParallel(partials, n, opts)
+	}
 	res := &GlobalResult{
 		Labels:             make([]int32, n),
 		NumPartialClusters: len(partials),
@@ -122,6 +182,7 @@ func Merge(partials []PartialCluster, n int, opts MergeOptions) *GlobalResult {
 	m := len(partials)
 	if m == 0 {
 		res.NumNoise = n
+		res.SerialWork = res.Work
 		return res
 	}
 
@@ -155,6 +216,7 @@ func Merge(partials []PartialCluster, n int, opts MergeOptions) *GlobalResult {
 			}
 		}
 		w.MergeOps += int64(n) // final label scan
+		res.SerialWork = res.Work
 		return res
 	}
 
@@ -200,6 +262,7 @@ func Merge(partials []PartialCluster, n int, opts MergeOptions) *GlobalResult {
 		}
 	}
 	w.MergeOps += int64(n) // final label scan
+	res.SerialWork = res.Work
 	return res
 }
 

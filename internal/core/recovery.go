@@ -80,11 +80,21 @@ type journal struct {
 }
 
 func newJournal(fs *hdfs.FileSystem, name string) *journal {
-	fs.Delete(name)
+	j := &journal{fs: fs, name: name}
+	// A failed create is recorded in j.err rather than discarded:
+	// commit is a no-op once err is set, and flush reports the failure
+	// at its source instead of letting it resurface later as a
+	// confusing replay error.
+	if err := fs.Delete(name); err != nil {
+		j.err = fmt.Errorf("core: journal create: %w", err)
+		return j
+	}
 	// Create the (empty) file up front so a job that commits no partial
 	// clusters still replays an empty journal rather than a missing one.
-	fs.Write(name, nil, nil)
-	return &journal{fs: fs, name: name}
+	if err := fs.Write(name, nil, nil); err != nil {
+		j.err = fmt.Errorf("core: journal create: %w", err)
+	}
+	return j
 }
 
 // commit encodes one committed accumulator update and appends it.
@@ -138,10 +148,15 @@ func (j *journal) replay(w *simtime.Work) ([]PartialCluster, error) {
 		if pos+4 > len(data) {
 			return nil, fmt.Errorf("core: journal truncated at byte %d", pos)
 		}
+		// The length prefix is a uint32 widened to int, so it can never
+		// be negative — the real corruption bound is the remaining file
+		// length (a huge or bit-flipped prefix claims more bytes than
+		// the file holds).
 		n := int(binary.LittleEndian.Uint32(data[pos:]))
 		pos += 4
-		if n < 0 || pos+n > len(data) {
-			return nil, fmt.Errorf("core: journal record length %d exceeds file at byte %d", n, pos)
+		if n > len(data)-pos {
+			return nil, fmt.Errorf("core: journal record length %d exceeds remaining %d bytes at byte %d",
+				n, len(data)-pos, pos)
 		}
 		var pc PartialCluster
 		if err := pc.UnmarshalBinary(data[pos : pos+n]); err != nil {

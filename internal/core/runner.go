@@ -189,8 +189,18 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 		// Cell mode pins the exact-seed / canonical-merge pair: labels
 		// become a pure function of the point set and parameters,
 		// independent of grid shape and accumulator commit order.
+		// MergeParallel is canonical labeling too (byte-identical by
+		// construction), so it satisfies the pin and is left in place.
 		opts.SeedMode = SeedExact
-		cfg.Merge.Algo = MergeCanonical
+		if cfg.Merge.Algo != MergeParallel {
+			cfg.Merge.Algo = MergeCanonical
+		}
+	}
+	if cfg.Merge.Algo == MergeCanonical || cfg.Merge.Algo == MergeParallel {
+		// Canonical labeling assumes the SeedExact partial-cluster
+		// contract (Members hold only owned cores, Members[0] lowest);
+		// any other seed mode would feed it garbage.
+		opts.SeedMode = SeedExact
 	}
 
 	acc := spark.SliceAccumulator[PartialCluster](sctx)
@@ -247,35 +257,53 @@ func Run(sctx *spark.Context, ds *geom.Dataset, cfg Config) (*Result, error) {
 		res.Recovery.JournalBytes = jr.bytes
 	}
 
-	// Phase 5: driver merge (Algorithm 4 / union-find). With a
-	// simulated driver crash, the first merge attempt dies at
-	// CrashPointFrac of its span, a fresh driver replays the journal,
-	// and the merge runs on the replayed partial clusters — which are
-	// the accumulator's slice byte for byte, so labels are identical.
+	// Phase 5: driver merge (Algorithm 4 / union-find / parallel
+	// canonical). MergeParallel runs on real goroutines and is priced
+	// under that many driver cores; the sequential algorithms meter
+	// everything as serial residue, which makes RunInDriverPar collapse
+	// to the old RunInDriver pricing exactly. With a simulated driver
+	// crash, the first merge attempt dies at CrashPointFrac of its span,
+	// a fresh driver replays the journal, and the merge runs on the
+	// replayed partial clusters — which are the accumulator's slice byte
+	// for byte, so labels are identical. Recovery reuses the same
+	// (possibly parallel) merge path.
+	mergeWorkers := cfg.Merge.effectiveWorkers()
 	d0 = driverBefore()
 	if st != nil && st.SimulateDriverCrash {
-		err = sctx.RunInDriver("merge (recovered)", func(w *simtime.Work) error {
-			replayed, err := jr.replay(w)
+		err = sctx.RunInDriverPar("merge (recovered)", mergeWorkers, func(w, serial *simtime.Work) error {
+			// The journal decode is one sequential byte stream: charged
+			// to the serial residue.
+			var replayW simtime.Work
+			replayed, err := jr.replay(&replayW)
 			if err != nil {
 				return err
 			}
+			w.Add(replayW)
+			serial.Add(replayW)
 			if len(replayed) != res.Recovery.JournaledClusters {
 				return fmt.Errorf("core: journal replayed %d clusters, journaled %d",
 					len(replayed), res.Recovery.JournaledClusters)
 			}
 			res.Global = Merge(replayed, n, cfg.Merge)
 			w.Add(res.Global.Work)
+			serial.Add(res.Global.SerialWork)
 			// The doomed first attempt's progress is wasted work the
-			// recovered merge pays again.
-			w.MergeOps += int64(st.crashPointFrac() * float64(res.Global.Work.MergeOps))
+			// recovered merge pays again: the whole ledger scaled to the
+			// crash point, not just MergeOps — re-pricing a single field
+			// silently dropped SortComps (and would drop any future
+			// line).
+			frac := st.crashPointFrac()
+			w.Add(simtime.Scale(res.Global.Work, frac))
+			serial.Add(simtime.Scale(res.Global.SerialWork, frac))
 			res.Recovery.DriverCrashes = 1
 			res.Recovery.ReplayedClusters = len(replayed)
 			return nil
 		})
 	} else {
-		err = sctx.RunInDriver("merge", func(w *simtime.Work) error {
+		err = sctx.RunInDriverPar("merge", mergeWorkers, func(w, serial *simtime.Work) error {
 			res.Global = Merge(partials, n, cfg.Merge)
 			w.Add(res.Global.Work)
+			serial.Add(res.Global.SerialWork)
 			return nil
 		})
 	}

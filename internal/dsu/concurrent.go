@@ -1,0 +1,131 @@
+package dsu
+
+import "sync/atomic"
+
+// Concurrent is a disjoint-set forest over [0, n) safe for Union, Find
+// and Same calls from any number of goroutines without external
+// locking. It exists because DSU.Find's path-compression writes are
+// plain stores — correct single-threaded, a data race the moment a
+// second reader walks the same chain — so the parallel driver merge
+// cannot share a DSU across its shard goroutines.
+//
+// The design follows the lock-free union-find of Jayanti & Tarjan
+// (randomized linking) as simplified by the parallel-DBSCAN literature
+// (Wang/Gu/Shun, arXiv:1912.06255; Patwary's PDSDBSCAN): parent
+// pointers are atomics, Union links roots with a single CAS, and Find
+// performs path halving whose CAS writes are benign (losing a halving
+// race only means another thread already shortened the path).
+//
+// Instead of union-by-rank, Union always links the higher-indexed root
+// under the lower-indexed one. That sacrifices the forest's depth bound
+// but buys two properties the merge needs:
+//
+//   - No ABA/cycle hazard: parent[x] ≤ x is an invariant (links go
+//     downward in index; halving replaces a parent with a lower-indexed
+//     ancestor), so parent chains strictly decrease and every walk
+//     terminates even mid-race.
+//   - Deterministic representatives: once quiescent, every set's root is
+//     its minimum element, regardless of the schedule that built it —
+//     so downstream consumers see the same Find values on every run.
+type Concurrent struct {
+	parent []atomic.Int32
+	sets   atomic.Int64
+}
+
+// NewConcurrent returns a concurrent forest with n singleton sets.
+func NewConcurrent(n int) *Concurrent {
+	c := &Concurrent{parent: make([]atomic.Int32, n)}
+	for i := range c.parent {
+		c.parent[i].Store(int32(i))
+	}
+	c.sets.Store(int64(n))
+	return c
+}
+
+// Len returns the number of elements.
+func (c *Concurrent) Len() int { return len(c.parent) }
+
+// Sets returns the current number of disjoint sets. Each successful
+// Union decrements the count at its linearization point, so after all
+// unions have returned, Sets is exact.
+func (c *Concurrent) Sets() int { return int(c.sets.Load()) }
+
+// Find returns the canonical representative of x's set, halving the
+// path as it goes. Wait-free for readers: the CAS writes are pure
+// optimizations and Find never loops on their failure.
+func (c *Concurrent) Find(x int32) int32 {
+	for {
+		p := c.parent[x].Load()
+		if p == x {
+			return x
+		}
+		gp := c.parent[p].Load()
+		if gp == p {
+			return p
+		}
+		// Path halving: splice x past its parent to its grandparent. A
+		// failed CAS means a racing thread already improved (or further
+		// halved) the path — either way, keep walking from gp.
+		c.parent[x].CompareAndSwap(p, gp)
+		x = gp
+	}
+}
+
+// Union merges the sets containing a and b and reports whether a merge
+// actually happened (false if they were already together — exactly one
+// of the racing Unions on the same pair returns true). The successful
+// CAS that links one root under the other is the linearization point.
+func (c *Concurrent) Union(a, b int32) bool {
+	for {
+		ra, rb := c.Find(a), c.Find(b)
+		if ra == rb {
+			return false
+		}
+		if ra < rb {
+			ra, rb = rb, ra
+		}
+		// ra > rb: link ra under rb. The CAS succeeds only while ra is
+		// still a root; if a racing Union got there first, re-find and
+		// retry from the new roots.
+		if c.parent[ra].CompareAndSwap(ra, rb) {
+			c.sets.Add(-1)
+			return true
+		}
+	}
+}
+
+// Same reports whether a and b are in the same set at some point during
+// the call (the usual linearizable formulation: a true answer is
+// witnessed by equal roots; a false answer is valid only if ra was
+// still a root after rb was found).
+func (c *Concurrent) Same(a, b int32) bool {
+	for {
+		ra, rb := c.Find(a), c.Find(b)
+		if ra == rb {
+			return true
+		}
+		if c.parent[ra].Load() == ra {
+			return false
+		}
+	}
+}
+
+// Labels returns a dense relabeling like DSU.Labels: out[i] identifies
+// i's set, labels assigned in order of first appearance. Call only
+// after all Unions have completed.
+func (c *Concurrent) Labels() []int32 {
+	out := make([]int32, len(c.parent))
+	next := int32(0)
+	seen := make(map[int32]int32, c.Sets())
+	for i := range c.parent {
+		r := c.Find(int32(i))
+		lbl, ok := seen[r]
+		if !ok {
+			lbl = next
+			seen[r] = lbl
+			next++
+		}
+		out[i] = lbl
+	}
+	return out
+}

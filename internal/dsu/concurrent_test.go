@@ -1,0 +1,191 @@
+package dsu
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sparkdbscan/internal/rng"
+)
+
+func TestConcurrentSingletons(t *testing.T) {
+	c := NewConcurrent(5)
+	if c.Sets() != 5 || c.Len() != 5 {
+		t.Fatalf("Sets=%d Len=%d", c.Sets(), c.Len())
+	}
+	for i := int32(0); i < 5; i++ {
+		if c.Find(i) != i {
+			t.Fatalf("Find(%d) = %d", i, c.Find(i))
+		}
+	}
+}
+
+func TestConcurrentUnionFindSequential(t *testing.T) {
+	c := NewConcurrent(6)
+	if !c.Union(0, 1) {
+		t.Fatal("first union returned false")
+	}
+	if c.Union(1, 0) {
+		t.Fatal("repeat union returned true")
+	}
+	c.Union(2, 3)
+	c.Union(0, 3)
+	if !c.Same(1, 2) {
+		t.Fatal("transitive union failed")
+	}
+	if c.Same(0, 4) {
+		t.Fatal("unrelated elements joined")
+	}
+	if c.Sets() != 3 { // {0,1,2,3}, {4}, {5}
+		t.Fatalf("Sets = %d, want 3", c.Sets())
+	}
+}
+
+// TestConcurrentRootsAreMinima: once quiescent, every set's
+// representative is its minimum element — the determinism property the
+// parallel merge leans on.
+func TestConcurrentRootsAreMinima(t *testing.T) {
+	const n = 500
+	c := NewConcurrent(n)
+	r := rng.New(3)
+	d := New(n)
+	for e := 0; e < 2*n; e++ {
+		a, b := int32(r.Intn(n)), int32(r.Intn(n))
+		c.Union(a, b)
+		d.Union(a, b)
+	}
+	// Each component's true minimum, from the sequential oracle.
+	trueMin := make(map[int32]int32)
+	for i := int32(0); i < n; i++ {
+		r := d.Find(i)
+		if cur, ok := trueMin[r]; !ok || i < cur {
+			trueMin[r] = i
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		want := trueMin[d.Find(i)]
+		if got := c.Find(i); got != want {
+			t.Fatalf("Find(%d) = %d, want component minimum %d", i, got, want)
+		}
+	}
+}
+
+// TestConcurrentStressMatchesSequentialOracle is the -race stress test:
+// many goroutines hammer Union and Find on a shared forest, then the
+// final partition is compared against a sequential DSU fed the same
+// edge set. Also checks that exactly one racing Union per united pair
+// reported true: successful unions must equal n − finalSets.
+func TestConcurrentStressMatchesSequentialOracle(t *testing.T) {
+	const (
+		n       = 2000
+		workers = 8
+		edges   = 4000 // per worker
+	)
+	for _, seed := range []uint64{1, 42, 31337} {
+		c := NewConcurrent(n)
+		all := make([][][2]int32, workers)
+		for k := range all {
+			r := rng.New(seed + uint64(k)*1e9)
+			es := make([][2]int32, edges)
+			for i := range es {
+				es[i] = [2]int32{int32(r.Intn(n)), int32(r.Intn(n))}
+			}
+			all[k] = es
+		}
+		var succeeded atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func(es [][2]int32) {
+				defer wg.Done()
+				var local int64
+				for _, e := range es {
+					if c.Union(e[0], e[1]) {
+						local++
+					}
+					// Interleave wait-free reads with the unions.
+					c.Find(e[1])
+					c.Same(e[0], e[1])
+				}
+				succeeded.Add(local)
+			}(all[k])
+		}
+		wg.Wait()
+
+		oracle := New(n)
+		for _, es := range all {
+			for _, e := range es {
+				oracle.Union(e[0], e[1])
+			}
+		}
+		if c.Sets() != oracle.Sets() {
+			t.Fatalf("seed %d: Sets = %d, oracle %d", seed, c.Sets(), oracle.Sets())
+		}
+		if got, want := succeeded.Load(), int64(n-oracle.Sets()); got != want {
+			t.Fatalf("seed %d: %d successful unions, want n-sets = %d", seed, got, want)
+		}
+		// Same partition: pairs agree with the oracle via dense labels.
+		cl, ol := c.Labels(), oracle.Labels()
+		remap := make(map[int32]int32)
+		for i := 0; i < n; i++ {
+			if want, ok := remap[cl[i]]; ok {
+				if ol[i] != want {
+					t.Fatalf("seed %d: element %d split across oracle sets", seed, i)
+				}
+			} else {
+				remap[cl[i]] = ol[i]
+			}
+		}
+		if len(remap) != oracle.Sets() {
+			t.Fatalf("seed %d: %d distinct labels, oracle %d", seed, len(remap), oracle.Sets())
+		}
+	}
+}
+
+// TestConcurrentFindDuringUnions: readers running Find/Same while
+// writers union must terminate and return then-valid roots (the chains
+// strictly decrease in index, so walks cannot loop). Run under -race
+// this also proves Find's halving writes are properly synchronized.
+func TestConcurrentFindDuringUnions(t *testing.T) {
+	const n = 1000
+	c := NewConcurrent(n)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x := int32(r.Intn(n))
+				root := c.Find(x)
+				if root > x {
+					t.Errorf("Find(%d) = %d: root above element breaks the index invariant", x, root)
+					return
+				}
+			}
+		}(uint64(k + 100))
+	}
+	r := rng.New(7)
+	for e := 0; e < 5000; e++ {
+		c.Union(int32(r.Intn(n)), int32(r.Intn(n)))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkConcurrentUnionFind(b *testing.B) {
+	r := rng.New(1)
+	const n = 10000
+	for i := 0; i < b.N; i++ {
+		c := NewConcurrent(n)
+		for e := 0; e < n; e++ {
+			c.Union(int32(r.Intn(n)), int32(r.Intn(n)))
+		}
+	}
+}

@@ -581,12 +581,18 @@ func (fs *FileSystem) Size(name string) (int64, error) {
 	return total, nil
 }
 
-// Delete removes name; deleting a missing file is not an error.
-func (fs *FileSystem) Delete(name string) {
+// Delete removes name; deleting a missing file is not an error
+// (mirroring HDFS delete semantics), but an empty name is, matching
+// Write and Append.
+func (fs *FileSystem) Delete(name string) error {
+	if name == "" {
+		return fmt.Errorf("hdfs: empty file name")
+	}
 	fs.mu.Lock()
 	delete(fs.files, name)
 	delete(fs.sums, name)
 	fs.mu.Unlock()
+	return nil
 }
 
 // List returns all file names in sorted order.

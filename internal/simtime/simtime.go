@@ -85,6 +85,38 @@ func (w *Work) Add(o Work) {
 // IsZero reports whether no work has been recorded.
 func (w Work) IsZero() bool { return w == Work{} }
 
+// Scale returns a copy of w with every line scaled by f (counts
+// truncate toward zero). The recovered driver merge uses it to charge
+// the crashed first attempt's partial progress: the whole ledger must
+// scale, not a hand-picked field subset, so that lines added to Work
+// later cannot be silently dropped from the re-price (the scale test
+// walks the struct by reflection to enforce exactly that).
+func Scale(w Work, f float64) Work {
+	w.KDNodes = int64(float64(w.KDNodes) * f)
+	w.KDIncluded = int64(float64(w.KDIncluded) * f)
+	w.DistComps = int64(float64(w.DistComps) * f)
+	w.QueueOps = int64(float64(w.QueueOps) * f)
+	w.HashOps = int64(float64(w.HashOps) * f)
+	w.Elems = int64(float64(w.Elems) * f)
+	w.TreeBuildOps = int64(float64(w.TreeBuildOps) * f)
+	w.MergeOps = int64(float64(w.MergeOps) * f)
+	w.SortComps = int64(float64(w.SortComps) * f)
+	w.SerBytes = int64(float64(w.SerBytes) * f)
+	w.DiskWriteBytes = int64(float64(w.DiskWriteBytes) * f)
+	w.DiskReadBytes = int64(float64(w.DiskReadBytes) * f)
+	w.NetBytes = int64(float64(w.NetBytes) * f)
+	w.HDFSBytes = int64(float64(w.HDFSBytes) * f)
+	w.TaskLaunches = int64(float64(w.TaskLaunches) * f)
+	w.ShuffleBytes = int64(float64(w.ShuffleBytes) * f)
+	w.HaloPoints = int64(float64(w.HaloPoints) * f)
+	w.ChecksumBytes = int64(float64(w.ChecksumBytes) * f)
+	w.HDFSRereadBytes = int64(float64(w.HDFSRereadBytes) * f)
+	w.ReReplBytes = int64(float64(w.ReReplBytes) * f)
+	w.StorageRetries = int64(float64(w.StorageRetries) * f)
+	w.StorageBackoffSecs *= f
+	return w
+}
+
 // CostModel maps each Work unit to seconds. All fields are seconds per
 // single unit (per node, per byte, ...).
 type CostModel struct {
@@ -202,6 +234,31 @@ func (m *CostModel) Seconds(w Work) float64 {
 		float64(w.ReReplBytes)*m.ReReplByte +
 		float64(w.StorageRetries)*m.StorageRetry +
 		w.StorageBackoffSecs
+}
+
+// ParallelSeconds prices a driver phase whose ledger `total` was
+// executed with `workers` cores cooperating, of which the `serial`
+// sub-ledger ran on a single core (a sort between parallel passes, a
+// byte-stream decode). The parallel portion is assumed perfectly
+// balanced — the merge shards by contiguous slices of uniform synthetic
+// partials, so imbalance is second-order:
+//
+//	Seconds(serial) + (Seconds(total) − Seconds(serial)) / workers
+//
+// With workers == 1, or serial == total, this is exactly Seconds(total),
+// which is what keeps the sequential phases' pinned timings
+// float-identical. serial must be a sub-ledger of total; it is clamped
+// to total defensively.
+func (m *CostModel) ParallelSeconds(total, serial Work, workers int) float64 {
+	if workers < 1 {
+		workers = 1
+	}
+	t := m.Seconds(total)
+	s := m.Seconds(serial)
+	if s > t {
+		s = t
+	}
+	return s + (t-s)/float64(workers)
 }
 
 // DefaultedBackoff normalizes a user-supplied retry backoff with the

@@ -2,6 +2,7 @@ package simtime
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -99,6 +100,78 @@ func TestStorageBackoffSecsPricedAtUnit(t *testing.T) {
 	// through unscaled.
 	if s := DefaultModel().Seconds(Work{StorageBackoffSecs: 2.5}); s != 2.5 {
 		t.Fatalf("StorageBackoffSecs priced at %g, want 2.5", s)
+	}
+}
+
+// TestScaleCoversAllFields walks the Work struct by reflection: every
+// field is set to an even non-zero value, scaled by 0.5, and must come
+// back exactly halved. A field added to Work but forgotten in Scale
+// survives unscaled and fails here — the regression class behind the
+// recovered-merge charge that re-priced MergeOps only and silently
+// dropped SortComps.
+func TestScaleCoversAllFields(t *testing.T) {
+	var w Work
+	v := reflect.ValueOf(&w).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		switch f := v.Field(i); f.Kind() {
+		case reflect.Int64:
+			f.SetInt(1000)
+		case reflect.Float64:
+			f.SetFloat(1000)
+		default:
+			t.Fatalf("field %s: unhandled kind %s — extend Scale and this test", v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	got := reflect.ValueOf(Scale(w, 0.5))
+	for i := 0; i < got.NumField(); i++ {
+		name := got.Type().Field(i).Name
+		switch f := got.Field(i); f.Kind() {
+		case reflect.Int64:
+			if f.Int() != 500 {
+				t.Errorf("Scale dropped field %s: %d, want 500", name, f.Int())
+			}
+		case reflect.Float64:
+			if f.Float() != 500 {
+				t.Errorf("Scale dropped field %s: %g, want 500", name, f.Float())
+			}
+		}
+	}
+}
+
+func TestScaleTruncatesCounts(t *testing.T) {
+	w := Scale(Work{MergeOps: 3}, 0.5)
+	if w.MergeOps != 1 {
+		t.Fatalf("Scale(3, 0.5).MergeOps = %d, want 1 (truncate toward zero)", w.MergeOps)
+	}
+	if !Scale(Work{MergeOps: 7, SortComps: 9}, 0).IsZero() {
+		t.Fatal("Scale by 0 must zero the ledger")
+	}
+}
+
+func TestParallelSeconds(t *testing.T) {
+	m := DefaultModel()
+	total := Work{MergeOps: 8_000_000, SortComps: 1_000_000}
+	serial := Work{SortComps: 1_000_000}
+	ts, ss := m.Seconds(total), m.Seconds(serial)
+	// 4 workers: serial residue at full cost, the rest divided by 4.
+	want := ss + (ts-ss)/4
+	if got := m.ParallelSeconds(total, serial, 4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("ParallelSeconds = %g, want %g", got, want)
+	}
+	// One worker must be float-identical to Seconds(total) — the
+	// property that keeps the sequential phases' pinned timings intact.
+	if got := m.ParallelSeconds(total, serial, 1); got != ts {
+		t.Fatalf("1 worker: %g, want exactly %g", got, ts)
+	}
+	if got := m.ParallelSeconds(total, total, 8); got != ts {
+		t.Fatalf("all-serial ledger: %g, want exactly %g", got, ts)
+	}
+	// Defensive: serial claimed larger than total clamps to total.
+	if got := m.ParallelSeconds(serial, total, 8); got != ss {
+		t.Fatalf("clamped: %g, want %g", got, ss)
+	}
+	if got := m.ParallelSeconds(total, serial, 0); got != ts {
+		t.Fatalf("0 workers must price as 1: %g, want %g", got, ts)
 	}
 }
 

@@ -264,18 +264,39 @@ func (c *Context) BlacklistedExecutors() []int {
 // the ledger it passes to f. In Virtual mode the ledger's priced
 // seconds are added to driver time; in Real mode the wall clock is.
 func (c *Context) RunInDriver(name string, f func(w *simtime.Work) error) error {
+	return c.RunInDriverPar(name, 1, func(w, _ *simtime.Work) error { return f(w) })
+}
+
+// RunInDriverPar executes f as driver-side code that spreads part of
+// its work across `workers` driver cores. f meters everything it does
+// into w, and additionally meters its single-threaded residue — work
+// that cannot leave one core, like a sort between parallel passes or a
+// sequential byte-stream decode — into serial. In Virtual mode the
+// phase is priced with the Amdahl split
+// Model.ParallelSeconds(w, serial, workers): the serial residue at full
+// cost plus the remainder divided by workers. The driver ledger and the
+// trace span record the *total* w, so metered work stays byte-identical
+// across worker counts; only the derived duration changes. With one
+// worker (or serial == w) the price collapses to Model.Seconds(w),
+// which is why RunInDriver is exactly the workers==1 case. In Real
+// mode the wall clock is used — f is expected to run its parallel
+// sections on real goroutines.
+func (c *Context) RunInDriverPar(name string, workers int, f func(w, serial *simtime.Work) error) error {
 	if err := c.checkActive(); err != nil {
 		return err
 	}
-	var w simtime.Work
+	if workers < 1 {
+		workers = 1
+	}
+	var w, serial simtime.Work
 	start := time.Now()
-	err := f(&w)
+	err := f(&w, &serial)
 	elapsed := time.Since(start).Seconds()
 	c.mu.Lock()
 	c.report.DriverWork.Add(w)
 	dur := elapsed
 	if c.cfg.Mode == Virtual {
-		dur = c.cfg.Model.Seconds(w)
+		dur = c.cfg.Model.ParallelSeconds(w, serial, workers)
 	}
 	// Simulated "now" when this span began: phases and stages are
 	// sequential, so the clock is the sum of everything charged so far.

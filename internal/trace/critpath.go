@@ -197,6 +197,24 @@ func stageCriticalPath(s *StageRecord) []Segment {
 	return segs
 }
 
+// ShareByName returns the fraction of the critical path's total
+// seconds spent in segments whose name starts with prefix — e.g.
+// ShareByName(segs, "merge") covers both "merge" and
+// "merge (recovered)". Zero when the path is empty.
+func ShareByName(segs []Segment, prefix string) float64 {
+	var total, matched float64
+	for _, s := range segs {
+		total += s.Seconds
+		if strings.HasPrefix(s.Name, prefix) {
+			matched += s.Seconds
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return matched / total
+}
+
 // WriteCriticalPath renders the critical path as a human-readable
 // report: one line per segment plus a bottleneck ranking.
 func (r *Recorder) WriteCriticalPath(w io.Writer) error {

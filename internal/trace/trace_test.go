@@ -299,3 +299,21 @@ func TestStorageEventAttribution(t *testing.T) {
 		}
 	}
 }
+
+func TestShareByName(t *testing.T) {
+	segs := []Segment{
+		{Name: "read+transform", Seconds: 2},
+		{Name: "merge", Seconds: 6},
+		{Name: "merge (recovered)", Seconds: 1},
+		{Name: "journal", Seconds: 1},
+	}
+	if got := ShareByName(segs, "merge"); got != 0.7 {
+		t.Fatalf("ShareByName(merge) = %g, want 0.7 (prefix must cover the recovered span)", got)
+	}
+	if got := ShareByName(segs, "journal"); got != 0.1 {
+		t.Fatalf("ShareByName(journal) = %g, want 0.1", got)
+	}
+	if got := ShareByName(nil, "merge"); got != 0 {
+		t.Fatalf("ShareByName on empty path = %g, want 0", got)
+	}
+}
