@@ -7,6 +7,7 @@
 //	dbscan -in points.txt -eps 25 -minpts 5 -cores 8        # distributed
 //	dbscan -in points.bin -eps 25 -minpts 5 -cores 8 -paper # paper's exact variant
 //	dbscan -in points.txt -eps 25 -minpts 5 -cores 8 -spatial # Z-order partitioning
+//	dbscan -in points.txt -eps 25 -minpts 5 -serve-demo -serve-chaos 53 # serving demo with fault injection
 package main
 
 import (

@@ -1,0 +1,130 @@
+// Resilience: serve correct answers through worker crashes, stalls and
+// poisoned queries. This example arms the deterministic chaos injector
+// against a live serving pool and shows the resilience invariant —
+// faults cost latency, never wrong answers: supervision respawns
+// killed workers and deposes stalled ones, panics are confined to the
+// poisoned request, hedged requests rescue slow shards, and Drain
+// answers the backlog before shutdown instead of dropping it.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparkdbscan"
+)
+
+func blobs(rng *rand.Rand, n int) *sparkdbscan.Dataset {
+	centers := [][2]float64{{20, 20}, {70, 25}, {45, 75}}
+	ds := sparkdbscan.NewDataset(n, 2)
+	for i := int32(0); int(i) < n; i++ {
+		c := centers[int(i)%len(centers)]
+		ds.Set(i, []float64{
+			c[0] + rng.NormFloat64()*3,
+			c[1] + rng.NormFloat64()*3,
+		})
+	}
+	return ds
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	ds := blobs(rng, 3000)
+	res, err := sparkdbscan.Cluster(ds, sparkdbscan.Config{Eps: 2.5, MinPts: 8, Cores: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := sparkdbscan.Freeze(ds, res, 2.5, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Chaos under supervision: every fault class at once. The profile is
+	// deterministic — rerun this program and the same workers die at the
+	// same batch numbers. The supervisor respawns killed workers and
+	// deposes stalled ones; hedging re-dispatches queries stuck behind a
+	// slow shard.
+	srv := sparkdbscan.NewServer(model, sparkdbscan.ServeOptions{
+		Workers: 4,
+		Chaos: &sparkdbscan.ChaosProfile{
+			Seed:     53,
+			KillRate: 0.02, StallRate: 0.02, SlowRate: 0.05, PanicRate: 0.01,
+			StallFor: 10 * time.Millisecond, SlowFor: 2 * time.Millisecond,
+		},
+		StallTimeout:       5 * time.Millisecond,
+		SupervisorInterval: time.Millisecond,
+		Hedge:              true,
+	})
+
+	var answered, wrong, poisoned atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; q < 250; q++ {
+				i := int32((g*250 + q) % ds.Len())
+				ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+				a, err := srv.Assign(ctx, ds.At(i))
+				cancel()
+				switch {
+				case errors.Is(err, sparkdbscan.ErrPanicked):
+					// The poisoned query is answered with an error; the
+					// worker, its batch-mates and the process all survive.
+					poisoned.Add(1)
+					continue
+				case err != nil:
+					continue // fault cost: latency, not correctness
+				}
+				answered.Add(1)
+				if a.Cluster != res.Labels[i] {
+					wrong.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	fmt.Printf("chaos run: %d/2000 answered, %d wrong, %d poisoned\n",
+		answered.Load(), wrong.Load(), poisoned.Load())
+	fmt.Printf("supervision: %d kills survived, %d stalls deposed, %d respawns; process uptime unbroken\n",
+		st.WorkerDeaths, st.WorkerStalls, st.Respawns)
+	fmt.Printf("hedging: %d hedges, %d won the race, %d denied by the retry budget\n",
+		st.Hedges, st.HedgeWins, st.HedgeDenied)
+	if wrong.Load() > 0 {
+		log.Fatal("resilience invariant violated: a fault changed an answer")
+	}
+
+	// Graceful shutdown: Drain stops admission, then answers everything
+	// already queued before tearing the pool down. Close, by contrast,
+	// is abrupt — in-flight queries get ErrClosed.
+	backlog := 64
+	var drained atomic.Uint64
+	var bwg sync.WaitGroup
+	for i := 0; i < backlog; i++ {
+		bwg.Add(1)
+		go func(i int) {
+			defer bwg.Done()
+			if _, err := srv.Assign(context.Background(), ds.At(int32(i))); err == nil {
+				drained.Add(1)
+			}
+		}(i)
+	}
+	time.Sleep(5 * time.Millisecond)
+	failed := srv.Drain(time.Second)
+	bwg.Wait()
+	fmt.Printf("drain: %d backlogged queries answered on shutdown, %d unresolved\n",
+		drained.Load(), failed)
+	if _, err := srv.Assign(context.Background(), ds.At(0)); errors.Is(err, sparkdbscan.ErrClosed) {
+		fmt.Println("post-drain queries are refused with ErrClosed")
+	}
+}

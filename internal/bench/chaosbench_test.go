@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// chaosBenchSeed lets the CI chaos matrix point the smoke bench at its
+// seed; default matches the -chaosbench CLI default.
+func chaosBenchSeed(t *testing.T) uint64 {
+	t.Helper()
+	env := os.Getenv("CHAOS_SEED")
+	if env == "" {
+		return 53
+	}
+	s, err := strconv.ParseUint(env, 10, 64)
+	if err != nil {
+		t.Fatalf("bad CHAOS_SEED %q: %v", env, err)
+	}
+	return s
+}
+
+// TestChaosBenchSmoke runs the full arm set in the smoke configuration
+// and checks the report invariants: every gated arm passed (RunChaosBench
+// errors otherwise), every arm's books balance, the clean arm is
+// fault-free, and the schedule digest is reproducible.
+func TestChaosBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos bench needs a few hundred ms per arm")
+	}
+	seed := chaosBenchSeed(t)
+	path := filepath.Join(t.TempDir(), "BENCH_chaos.json")
+	var buf bytes.Buffer
+	if err := RunChaosBench(&buf, path, 0, seed, true); err != nil {
+		t.Fatalf("chaos bench: %v\n%s", err, buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ChaosBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Seed != seed || !strings.HasPrefix(rep.ScheduleDigest, "fnv1a:") {
+		t.Fatalf("seed %d digest %q", rep.Seed, rep.ScheduleDigest)
+	}
+	names := map[string]bool{}
+	for _, a := range rep.Arms {
+		names[a.Name] = true
+		if a.Issued == 0 {
+			t.Errorf("arm %s issued nothing", a.Name)
+		}
+		if a.Gate != "" && a.Gate != "pass" {
+			t.Errorf("arm %s gate: %s", a.Name, a.Gate)
+		}
+	}
+	for _, want := range []string{
+		"clean", "worker-kill", "worker-kill-nosup", "worker-stall",
+		"slow-nohedge", "slow-hedge", "drop-hedge", "brownout-low", "brownout-high",
+	} {
+		if !names[want] {
+			t.Errorf("arm %q missing from the report", want)
+		}
+	}
+	for _, a := range rep.Arms {
+		if a.Name == "clean" && (a.WorkerDeaths != 0 || a.Panicked != 0 || a.Dropped != 0) {
+			t.Errorf("clean arm saw faults: %+v", a)
+		}
+	}
+
+	// Determinism artifact: the same seed renders the same digest.
+	var buf2 bytes.Buffer
+	path2 := filepath.Join(t.TempDir(), "BENCH_chaos2.json")
+	if err := RunChaosBench(&buf2, path2, 0, seed, true); err != nil {
+		t.Fatalf("second chaos bench: %v", err)
+	}
+	data2, err := os.ReadFile(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep2 ChaosBenchReport
+	if err := json.Unmarshal(data2, &rep2); err != nil {
+		t.Fatal(err)
+	}
+	if rep2.ScheduleDigest != rep.ScheduleDigest {
+		t.Errorf("schedule digest moved across runs: %s vs %s", rep.ScheduleDigest, rep2.ScheduleDigest)
+	}
+}

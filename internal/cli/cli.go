@@ -104,7 +104,8 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		metricsOut = fs.String("metrics", "", "write the metrics snapshot (incl. critical path) to this JSON file")
 		gantt      = fs.Bool("gantt", false, "print a per-core ASCII Gantt chart of every executor stage")
 
-		serveDemo = fs.Bool("serve-demo", false, "after clustering, freeze a serving snapshot and answer a few sample queries through a live server")
+		serveDemo  = fs.Bool("serve-demo", false, "after clustering, freeze a serving snapshot and answer a few sample queries through a live server")
+		serveChaos = fs.Uint64("serve-chaos", 0, "with -serve-demo: chaos-profile seed; inject worker faults during the demo to show supervision (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,6 +135,9 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	}
 	if *mergeWorkers < 0 {
 		return fmt.Errorf("dbscan: -mergeworkers must be >= 0, got %d", *mergeWorkers)
+	}
+	if *serveChaos != 0 && !*serveDemo {
+		return fmt.Errorf("dbscan: -serve-chaos injects faults into the serving demo; it needs -serve-demo")
 	}
 	ds, err := loadDataset(*in)
 	if err != nil {
@@ -253,7 +257,7 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	printClusterSizes(stdout, labels, numClusters)
 
 	if *serveDemo {
-		if err := runServeDemo(stdout, ds, labels, coreFlags, params); err != nil {
+		if err := runServeDemo(stdout, ds, labels, coreFlags, params, *serveChaos); err != nil {
 			return fmt.Errorf("dbscan: serve demo: %w", err)
 		}
 	}
@@ -293,7 +297,11 @@ func RunBench(args []string, stdout io.Writer) error {
 
 		servebench  = fs.String("servebench", "", "run the online-serving benchmark, write JSON to this path (e.g. BENCH_serve.json), and exit")
 		servepoints = fs.Int("servepoints", 20000, "dataset points for -servebench")
-		smoke       = fs.Bool("smoke", false, "shrink -servebench/-partbench to a seconds-long CI smoke run")
+		smoke       = fs.Bool("smoke", false, "shrink -servebench/-partbench/-chaosbench to a seconds-long CI smoke run")
+
+		chaosbench  = fs.String("chaosbench", "", "run the serving resilience benchmark (chaos injection), write JSON to this path (e.g. BENCH_chaos.json), and exit non-zero if a resilience gate fails")
+		chaospoints = fs.Int("chaospoints", 20000, "dataset points for -chaosbench")
+		chaosseed   = fs.Uint64("chaosseed", 53, "chaos-profile seed for -chaosbench (same seed, same fault schedule)")
 
 		partbench  = fs.String("partbench", "", "run the range-vs-cell partitioning benchmark, write JSON to this path (e.g. BENCH_partition.json), and exit")
 		partpoints = fs.Int("partpoints", 20000, "measured base-run points for -partbench (projections scale from it)")
@@ -309,6 +317,9 @@ func RunBench(args []string, stdout io.Writer) error {
 	}
 	if *servebench != "" {
 		return bench.RunServeBench(stdout, *servebench, *servepoints, *smoke)
+	}
+	if *chaosbench != "" {
+		return bench.RunChaosBench(stdout, *chaosbench, *chaospoints, *chaosseed, *smoke)
 	}
 	if *partbench != "" {
 		return bench.RunPartBench(stdout, *partbench, *partpoints, *smoke)
@@ -381,8 +392,11 @@ func RunBench(args []string, stdout io.Writer) error {
 // runServeDemo is the -serve-demo smoke path: freeze the clustering
 // just computed into an immutable snapshot, stand up a live serving
 // pool, answer a few in-distribution probes plus one far-away probe
-// (which must come back noise), and print the serving stats.
-func runServeDemo(stdout io.Writer, ds *geom.Dataset, labels []int32, core []bool, p dbscan.Params) error {
+// (which must come back noise), and print the serving stats. A
+// non-zero chaosSeed additionally arms the deterministic fault
+// injector and replays a burst of queries through the faulty pool to
+// show supervision keeping answers correct.
+func runServeDemo(stdout io.Writer, ds *geom.Dataset, labels []int32, core []bool, p dbscan.Params, chaosSeed uint64) error {
 	if ds.Len() == 0 {
 		return fmt.Errorf("empty dataset")
 	}
@@ -416,6 +430,43 @@ func runServeDemo(stdout io.Writer, ds *geom.Dataset, labels []int32, core []boo
 		return err
 	}
 	fmt.Fprintf(stdout, "  far-away probe -> cluster %d (core %v)\n", a.Cluster, a.Core)
+
+	if chaosSeed != 0 {
+		const burst = 400
+		fmt.Fprintf(stdout, "  chaos demo (seed %d): replaying %d queries through a fault-injected pool...\n", chaosSeed, burst)
+		chaotic := serve.NewServer(model, serve.Options{
+			Chaos: &serve.ChaosProfile{
+				Seed:     chaosSeed,
+				KillRate: 0.01, StallRate: 0.01, SlowRate: 0.02, PanicRate: 0.005,
+				StallFor: 10 * time.Millisecond, SlowFor: 2 * time.Millisecond,
+			},
+			StallTimeout:       5 * time.Millisecond,
+			SupervisorInterval: time.Millisecond,
+			Hedge:              true,
+		})
+		defer chaotic.Close()
+		var served, wrong int
+		for q := 0; q < burst; q++ {
+			i := int32(q * ds.Len() / burst)
+			ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+			a, err := chaotic.Assign(ctx, ds.At(i))
+			cancel()
+			if err != nil {
+				continue // a fault cost this answer its latency budget, never its correctness
+			}
+			served++
+			if a.Cluster != labels[i] {
+				wrong++
+			}
+		}
+		st := chaotic.Stats()
+		fmt.Fprintf(stdout, "  chaos: %d/%d answered, %d wrong; %d worker deaths, %d respawns, %d stalls deposed, %d poisoned, %d hedges (%d won)\n",
+			served, burst, wrong, st.WorkerDeaths, st.Respawns, st.WorkerStalls, st.Panicked, st.Hedges, st.HedgeWins)
+		if wrong > 0 {
+			return fmt.Errorf("chaos demo returned %d wrong answers", wrong)
+		}
+	}
+
 	st := srv.Stats()
 	fmt.Fprintf(stdout, "  served %d queries in %d batches, p50 latency %s\n",
 		st.Completed, st.Batches, st.LatencyP50)

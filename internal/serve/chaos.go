@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sparkdbscan/internal/rng"
+)
+
+// ChaosProfile injects deterministic faults into a Server's workers:
+// worker-goroutine deaths, batch stalls, slow-model latency, poisoned
+// requests (compute panics), and dropped responses. It is the serving
+// analogue of spark.FaultProfile, and follows the same discipline:
+// every decision is a pure function of (Seed, kind, shard, sequence
+// number) through rng.Hash64, so a profile produces the exact same
+// fault schedule on every run. The resilience tests rely on that to
+// assert the serving invariant — faults move latency and the error
+// taxonomy, never answers: any query that gets an Assignment gets the
+// same Assignment a fault-free server would have produced.
+//
+// Rates are per draw: KillRate, StallRate, SlowRate and PanicRate are
+// drawn once per dequeued batch (in that precedence order — at most
+// one batch-level fault fires per batch); DropRate is drawn once per
+// delivered response. A zero profile injects nothing.
+type ChaosProfile struct {
+	// Seed drives all draws. Same rates, different seed ⇒ different
+	// schedule.
+	Seed uint64
+	// KillRate is the per-batch probability that the worker goroutine
+	// panics before computing the batch. The in-flight batch is
+	// answered with ErrPanicked by the worker's last-gasp recover and
+	// the goroutine dies; with supervision enabled the supervisor
+	// respawns it, without it the shard starves.
+	KillRate float64
+	// StallRate is the per-batch probability that the worker freezes —
+	// it stops heartbeating and sleeps StallFor before serving the
+	// batch (a stuck disk, a pathological GC pause). The supervisor's
+	// stall detector deposes and replaces it; the stalled worker still
+	// answers its batch (late, correctly) when it wakes, then exits.
+	StallRate float64
+	// StallFor is the stall duration. Default 30ms.
+	StallFor time.Duration
+	// SlowRate is the per-batch probability of SlowFor of extra model
+	// latency (a cold cache, a throttled core). Unlike a stall the
+	// worker keeps heartbeating: it is slow, not stuck — the fault
+	// hedged requests exist for.
+	SlowRate float64
+	// SlowFor is the added latency of a slow batch. Default 2ms. Keep
+	// it under the server's StallTimeout or slow batches are deposed
+	// as stalls.
+	SlowFor time.Duration
+	// PanicRate is the per-batch probability that one request in the
+	// batch is poisoned: computing it panics. The server answers the
+	// victim with ErrPanicked and every other request in the batch
+	// normally.
+	PanicRate float64
+	// DropRate is the per-response probability that a computed answer
+	// is dropped instead of delivered (a lost reply). The caller hangs
+	// until its hedge or deadline rescues it, so DropRate is only
+	// meaningful with hedging or per-request timeouts enabled.
+	DropRate float64
+}
+
+func (p *ChaosProfile) withDefaults() *ChaosProfile {
+	q := *p
+	if q.StallFor <= 0 {
+		q.StallFor = 30 * time.Millisecond
+	}
+	if q.SlowFor <= 0 {
+		q.SlowFor = 2 * time.Millisecond
+	}
+	return &q
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (p *ChaosProfile) Enabled() bool {
+	return p != nil && (p.KillRate > 0 || p.StallRate > 0 || p.SlowRate > 0 ||
+		p.PanicRate > 0 || p.DropRate > 0)
+}
+
+// Draw domains, mixed into the hash so each fault kind is an
+// independent stream (same constants-style scheme as spark.FaultProfile).
+const (
+	chaosDrawKill uint64 = 0xc4a05 + iota
+	chaosDrawStall
+	chaosDrawSlow
+	chaosDrawPanic
+	chaosDrawDrop
+	chaosDrawVictim
+)
+
+// draw returns a uniform [0,1) value, a pure function of its inputs.
+func (p *ChaosProfile) draw(kind uint64, shard int, seq uint64) float64 {
+	x := p.Seed ^ kind ^ uint64(shard)*0x9e3779b97f4a7c15 ^ seq*0xbf58476d1ce4e5b9
+	return float64(rng.Hash64(x)>>11) / (1 << 53)
+}
+
+// chaosFault is the batch-level fault decision for one (shard, seq).
+type chaosFault int
+
+const (
+	chaosNone chaosFault = iota
+	chaosKill
+	chaosStall
+	chaosSlow
+	chaosPanic
+)
+
+func (f chaosFault) byte() byte {
+	switch f {
+	case chaosKill:
+		return 'K'
+	case chaosStall:
+		return 'T'
+	case chaosSlow:
+		return 's'
+	case chaosPanic:
+		return 'P'
+	}
+	return '-'
+}
+
+// batchFault returns the fault injected into batch seq of shard, a
+// pure function of the profile. Precedence: kill > stall > slow >
+// panic — at most one batch-level fault per batch.
+func (p *ChaosProfile) batchFault(shard int, seq uint64) chaosFault {
+	switch {
+	case p.KillRate > 0 && p.draw(chaosDrawKill, shard, seq) < p.KillRate:
+		return chaosKill
+	case p.StallRate > 0 && p.draw(chaosDrawStall, shard, seq) < p.StallRate:
+		return chaosStall
+	case p.SlowRate > 0 && p.draw(chaosDrawSlow, shard, seq) < p.SlowRate:
+		return chaosSlow
+	case p.PanicRate > 0 && p.draw(chaosDrawPanic, shard, seq) < p.PanicRate:
+		return chaosPanic
+	}
+	return chaosNone
+}
+
+// victim picks which of the n batch members a chaosPanic poisons.
+func (p *ChaosProfile) victim(shard int, seq uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := p.Seed ^ chaosDrawVictim ^ uint64(shard)*0x9e3779b97f4a7c15 ^ seq*0xbf58476d1ce4e5b9
+	return int(rng.Hash64(x) % uint64(n))
+}
+
+// dropsResponse reports whether delivery seq on shard is dropped.
+func (p *ChaosProfile) dropsResponse(shard int, seq uint64) bool {
+	return p.DropRate > 0 && p.draw(chaosDrawDrop, shard, seq) < p.DropRate
+}
+
+// Schedule renders the batch-level fault schedule for the first
+// batches dequeues of each of shards shards, one row per shard
+// ('-' none, 'K' kill, 'T' stall, 's' slow, 'P' panic). Because every
+// decision is a pure function of the profile, the rendered schedule is
+// byte-identical across runs for the same seed — the property
+// TestChaosScheduleDeterministic pins and BENCH_chaos reports.
+func (p *ChaosProfile) Schedule(shards, batches int) string {
+	var b strings.Builder
+	for s := 0; s < shards; s++ {
+		fmt.Fprintf(&b, "shard %d: ", s)
+		for q := 0; q < batches; q++ {
+			b.WriteByte(p.batchFault(s, uint64(q)).byte())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -38,54 +38,164 @@ func (w Workload) At(i int) []float64 {
 	return w.Coords[base : base+w.Dim : base+w.Dim]
 }
 
+// The outcome taxonomy: every query a generator issues ends in exactly
+// one of these classes, so a BENCH_chaos arm's availability number is
+// explainable — shed where, failed how, rescued by what.
+const (
+	OutcomeCompleted    = "completed"     // answered by the primary dispatch
+	OutcomeHedgeWon     = "hedge_won"     // answered, and the hedged re-dispatch got there first
+	OutcomeShedEnqueue  = "shed_enqueue"  // rejected at admission: every shard full
+	OutcomeShedDeadline = "shed_deadline" // dequeued past its queue-delay budget
+	OutcomeShedBrownout = "shed_brownout" // priority-shed while degraded/browned-out
+	OutcomeShed         = "shed"          // ErrOverloaded with no recorded cause
+	OutcomePanicked     = "panicked"      // the query's compute panicked (ErrPanicked)
+	OutcomeClosed       = "closed"        // server closed before the answer (ErrClosed)
+	OutcomeCanceled     = "canceled"      // the caller's context expired first
+	OutcomeErrored      = "errored"       // anything else
+)
+
+// outcomeNames is indexed by the internal outcome enum below.
+var outcomeNames = [...]string{
+	OutcomeCompleted, OutcomeHedgeWon,
+	OutcomeShedEnqueue, OutcomeShedDeadline, OutcomeShedBrownout, OutcomeShed,
+	OutcomePanicked, OutcomeClosed, OutcomeCanceled, OutcomeErrored,
+}
+
+const numOutcomes = len(outcomeNames)
+
+func classifyOutcome(a Assignment, err error) int {
+	switch {
+	case err == nil && a.Hedged:
+		return 1
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrShedEnqueue):
+		return 2
+	case errors.Is(err, ErrShedDeadline):
+		return 3
+	case errors.Is(err, ErrShedBrownout):
+		return 4
+	case errors.Is(err, ErrOverloaded):
+		return 5
+	case errors.Is(err, ErrPanicked):
+		return 6
+	case errors.Is(err, ErrClosed):
+		return 7
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return 8
+	}
+	return 9
+}
+
+// ClassifyOutcome names the taxonomy class of one Assign result.
+func ClassifyOutcome(a Assignment, err error) string {
+	return outcomeNames[classifyOutcome(a, err)]
+}
+
 // LoadReport summarizes one load-generation run. Latency distributions
 // live in the server's own Stats; the generator reports the demand
-// side: what was issued and how each query ended.
+// side: what was issued and how each query ended. The legacy aggregate
+// fields (Completed, Shed, Canceled, Errored) always sum to Issued;
+// Outcomes is the full per-class breakdown.
 type LoadReport struct {
 	Mode      string        `json:"mode"` // "closed" or "open"
 	Clients   int           `json:"clients,omitempty"`
 	TargetQPS float64       `json:"target_qps,omitempty"`
 	Duration  time.Duration `json:"duration_ns"`
 	Issued    uint64        `json:"issued"`
-	Completed uint64        `json:"completed"`
-	Shed      uint64        `json:"shed"`
-	Canceled  uint64        `json:"canceled"`
-	Errored   uint64        `json:"errored"`
-	// AchievedQPS is completed queries per wall-clock second.
-	AchievedQPS float64 `json:"achieved_qps"`
+	// Completed includes HedgeWon; Shed sums the three shed classes;
+	// Errored sums panicked, closed and other errors.
+	Completed uint64 `json:"completed"`
+	Shed      uint64 `json:"shed"`
+	Canceled  uint64 `json:"canceled"`
+	Errored   uint64 `json:"errored"`
+	// The taxonomy detail (only non-zero classes appear in Outcomes).
+	HedgeWon     uint64            `json:"hedge_won"`
+	ShedEnqueue  uint64            `json:"shed_enqueue"`
+	ShedDeadline uint64            `json:"shed_deadline"`
+	ShedBrownout uint64            `json:"shed_brownout"`
+	Panicked     uint64            `json:"panicked"`
+	Closed       uint64            `json:"closed"`
+	Outcomes     map[string]uint64 `json:"outcomes"`
+	// AchievedQPS is completed queries per wall-clock second;
+	// Availability is Completed/Issued.
+	AchievedQPS  float64 `json:"achieved_qps"`
+	Availability float64 `json:"availability"`
 }
 
 type loadCounters struct {
-	completed, shed, canceled, errored atomic.Uint64
+	counts [numOutcomes]atomic.Uint64
 }
 
-func (c *loadCounters) record(err error) {
-	switch {
-	case err == nil:
-		c.completed.Add(1)
-	case errors.Is(err, ErrOverloaded):
-		c.shed.Add(1)
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		c.canceled.Add(1)
-	default:
-		c.errored.Add(1)
-	}
+func (c *loadCounters) record(a Assignment, err error) {
+	c.counts[classifyOutcome(a, err)].Add(1)
 }
 
 func (c *loadCounters) report(mode string, issued uint64, elapsed time.Duration) LoadReport {
+	var n [numOutcomes]uint64
+	outcomes := make(map[string]uint64)
+	for i := range c.counts {
+		n[i] = c.counts[i].Load()
+		if n[i] > 0 {
+			outcomes[outcomeNames[i]] = n[i]
+		}
+	}
 	r := LoadReport{
-		Mode:      mode,
-		Duration:  elapsed,
-		Issued:    issued,
-		Completed: c.completed.Load(),
-		Shed:      c.shed.Load(),
-		Canceled:  c.canceled.Load(),
-		Errored:   c.errored.Load(),
+		Mode:         mode,
+		Duration:     elapsed,
+		Issued:       issued,
+		Completed:    n[0] + n[1],
+		Shed:         n[2] + n[3] + n[4] + n[5],
+		Canceled:     n[8],
+		Errored:      n[6] + n[7] + n[9],
+		HedgeWon:     n[1],
+		ShedEnqueue:  n[2],
+		ShedDeadline: n[3],
+		ShedBrownout: n[4],
+		Panicked:     n[6],
+		Closed:       n[7],
+		Outcomes:     outcomes,
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		r.AchievedQPS = float64(r.Completed) / sec
 	}
+	if issued > 0 {
+		r.Availability = float64(r.Completed) / float64(issued)
+	}
 	return r
+}
+
+// LoadOptions parameterizes RunLoad. QPS <= 0 selects the closed loop
+// (Clients goroutines issuing back-to-back), QPS > 0 the open loop
+// (fixed-rate arrivals, each in its own goroutine).
+type LoadOptions struct {
+	Clients  int
+	QPS      float64
+	Duration time.Duration
+	// RequestTimeout puts a context deadline on every query (0: none).
+	// Chaos arms need it: a dropped response or a starved shard
+	// otherwise blocks a closed-loop client forever.
+	RequestTimeout time.Duration
+	// Priority is the priority every query is issued at.
+	Priority Priority
+}
+
+func (o LoadOptions) assign(s *Server, q []float64) (Assignment, error) {
+	ctx := context.Background()
+	if o.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.RequestTimeout)
+		defer cancel()
+	}
+	return s.AssignPriority(ctx, q, o.Priority)
+}
+
+// RunLoad drives s with w under o and reports the outcome taxonomy.
+func RunLoad(s *Server, w Workload, o LoadOptions) LoadReport {
+	if o.QPS > 0 {
+		return runOpenLoop(s, w, o)
+	}
+	return runClosedLoop(s, w, o)
 }
 
 // ClosedLoop measures capacity: clients goroutines issue queries
@@ -93,13 +203,18 @@ func (c *loadCounters) report(mode string, issued uint64, elapsed time.Duration)
 // duration d. Throughput is bounded by the server; adding clients
 // raises concurrency, not offered load per client.
 func ClosedLoop(s *Server, w Workload, clients int, d time.Duration) LoadReport {
+	return runClosedLoop(s, w, LoadOptions{Clients: clients, Duration: d})
+}
+
+func runClosedLoop(s *Server, w Workload, o LoadOptions) LoadReport {
+	clients := o.Clients
 	if clients < 1 {
 		clients = 1
 	}
 	var c loadCounters
 	var issued atomic.Uint64
 	start := time.Now()
-	deadline := start.Add(d)
+	deadline := start.Add(o.Duration)
 	var wg sync.WaitGroup
 	for g := 0; g < clients; g++ {
 		wg.Add(1)
@@ -108,8 +223,8 @@ func ClosedLoop(s *Server, w Workload, clients int, d time.Duration) LoadReport 
 			n := w.N()
 			for i := g; time.Now().Before(deadline); i += clients {
 				issued.Add(1)
-				_, err := s.Assign(context.Background(), w.At(i%n))
-				c.record(err)
+				a, err := o.assign(s, w.At(i%n))
+				c.record(a, err)
 			}
 		}(g)
 	}
@@ -126,13 +241,17 @@ func ClosedLoop(s *Server, w Workload, clients int, d time.Duration) LoadReport 
 // server. Arrivals the pacer falls behind on are issued in a burst,
 // preserving the offered rate.
 func OpenLoop(s *Server, w Workload, qps float64, d time.Duration) LoadReport {
-	if qps <= 0 || w.N() == 0 {
-		return LoadReport{Mode: "open", TargetQPS: qps}
+	return runOpenLoop(s, w, LoadOptions{QPS: qps, Duration: d})
+}
+
+func runOpenLoop(s *Server, w Workload, o LoadOptions) LoadReport {
+	if o.QPS <= 0 || w.N() == 0 {
+		return LoadReport{Mode: "open", TargetQPS: o.QPS}
 	}
 	var c loadCounters
 	var wg sync.WaitGroup
 	start := time.Now()
-	end := start.Add(d)
+	end := start.Add(o.Duration)
 	var issued uint64
 	n := w.N()
 	for {
@@ -140,21 +259,21 @@ func OpenLoop(s *Server, w Workload, qps float64, d time.Duration) LoadReport {
 		if !now.Before(end) {
 			break
 		}
-		due := uint64(now.Sub(start).Seconds() * qps)
+		due := uint64(now.Sub(start).Seconds() * o.QPS)
 		for issued < due {
 			i := int(issued) % n
 			issued++
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				_, err := s.Assign(context.Background(), w.At(i))
-				c.record(err)
+				a, err := o.assign(s, w.At(i))
+				c.record(a, err)
 			}(i)
 		}
 		time.Sleep(100 * time.Microsecond)
 	}
 	wg.Wait()
 	rep := c.report("open", issued, time.Since(start))
-	rep.TargetQPS = qps
+	rep.TargetQPS = o.QPS
 	return rep
 }

@@ -148,6 +148,9 @@ type Assignment struct {
 	// it increases by one per hot-swap. Zero means the Model was
 	// queried directly rather than through a Server.
 	Generation uint64
+	// Hedged reports that the answer came from a hedged re-dispatch
+	// rather than the primary one (always false without hedging).
+	Hedged bool
 }
 
 // classify turns one query's eps-neighbourhood into an Assignment.

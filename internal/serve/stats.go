@@ -90,13 +90,43 @@ type Stats struct {
 	// Completed counts queries answered with an Assignment.
 	Completed uint64 `json:"completed"`
 	// Shed counts queries rejected with ErrOverloaded, split by where
-	// the rejection happened: a full admission queue at enqueue, or a
-	// missed deadline discovered at dequeue.
+	// the rejection happened: a full admission queue at enqueue, a
+	// missed deadline discovered at dequeue, or a priority shed while
+	// the server was degraded or browned out.
 	Shed         uint64 `json:"shed"`
 	ShedAtEnq    uint64 `json:"shed_at_enqueue"`
 	ShedDeadline uint64 `json:"shed_deadline"`
+	ShedPriority uint64 `json:"shed_priority"`
 	// Canceled counts queries whose context was done by dequeue time.
 	Canceled uint64 `json:"canceled"`
+	// Panicked counts queries answered with ErrPanicked (the compute
+	// panicked and the worker recovered); BatchPanics counts batched
+	// traversals that panicked and were retried one request at a time.
+	Panicked    uint64 `json:"panicked"`
+	BatchPanics uint64 `json:"batch_panics"`
+	// Supervision: worker goroutines that died (panic escaped the
+	// per-request recover), stalled workers the supervisor deposed,
+	// and replacements it spawned for either cause.
+	WorkerDeaths uint64 `json:"worker_deaths"`
+	WorkerStalls uint64 `json:"worker_stalls"`
+	Respawns     uint64 `json:"respawns"`
+	// Dropped counts responses discarded by chaos injection.
+	Dropped uint64 `json:"dropped"`
+	// Hedging: re-dispatches issued, re-dispatches whose answer won,
+	// re-dispatches whose answer lost to the primary, and hedge
+	// attempts denied by the retry budget or a full queue.
+	Hedges      uint64 `json:"hedges"`
+	HedgeWins   uint64 `json:"hedge_wins"`
+	HedgeLost   uint64 `json:"hedge_lost"`
+	HedgeDenied uint64 `json:"hedge_denied"`
+	// ClosedInFlight counts queries failed with ErrClosed at shutdown.
+	ClosedInFlight uint64 `json:"closed_in_flight"`
+	// Health is the degradation state ("healthy", "degraded",
+	// "browned-out"); QueueDelayEWMA is the smoothed dequeue-side
+	// queue delay driving it; HealthTransitions counts state changes.
+	Health            string        `json:"health"`
+	QueueDelayEWMA    time.Duration `json:"queue_delay_ewma_ns"`
+	HealthTransitions uint64        `json:"health_transitions"`
 	// Batches counts worker wakeups; Completed/Batches is the mean
 	// micro-batch size, and BatchSizeDist[k] counts batches that
 	// drained exactly k requests (index 0 is unused).
@@ -119,14 +149,27 @@ type Stats struct {
 
 // collector is the concurrent backing store behind Stats.
 type collector struct {
-	start        time.Time
-	completed    atomic.Uint64
-	shedEnq      atomic.Uint64
-	shedDeadline atomic.Uint64
-	canceled     atomic.Uint64
-	batches      atomic.Uint64
-	batchDist    []atomic.Uint64 // index = drained batch size
-	lat          latencyHist
+	start             time.Time
+	completed         atomic.Uint64
+	shedEnq           atomic.Uint64
+	shedDeadline      atomic.Uint64
+	shedPriority      atomic.Uint64
+	canceled          atomic.Uint64
+	panicked          atomic.Uint64
+	batchPanics       atomic.Uint64
+	workerDeaths      atomic.Uint64
+	stalls            atomic.Uint64
+	respawns          atomic.Uint64
+	dropped           atomic.Uint64
+	hedges            atomic.Uint64
+	hedgeWins         atomic.Uint64
+	hedgeLost         atomic.Uint64
+	hedgeDenied       atomic.Uint64
+	closedInFlight    atomic.Uint64
+	healthTransitions atomic.Uint64
+	batches           atomic.Uint64
+	batchDist         []atomic.Uint64 // index = drained batch size
+	lat               latencyHist
 }
 
 func newCollector(batchCap int) *collector {
@@ -146,17 +189,30 @@ func (c *collector) observeBatch(size int) {
 
 func (c *collector) snapshot(generation uint64) Stats {
 	s := Stats{
-		Completed:    c.completed.Load(),
-		ShedAtEnq:    c.shedEnq.Load(),
-		ShedDeadline: c.shedDeadline.Load(),
-		Canceled:     c.canceled.Load(),
-		Batches:      c.batches.Load(),
-		Uptime:       time.Since(c.start),
-		Generation:   generation,
+		Completed:         c.completed.Load(),
+		ShedAtEnq:         c.shedEnq.Load(),
+		ShedDeadline:      c.shedDeadline.Load(),
+		ShedPriority:      c.shedPriority.Load(),
+		Canceled:          c.canceled.Load(),
+		Panicked:          c.panicked.Load(),
+		BatchPanics:       c.batchPanics.Load(),
+		WorkerDeaths:      c.workerDeaths.Load(),
+		WorkerStalls:      c.stalls.Load(),
+		Respawns:          c.respawns.Load(),
+		Dropped:           c.dropped.Load(),
+		Hedges:            c.hedges.Load(),
+		HedgeWins:         c.hedgeWins.Load(),
+		HedgeLost:         c.hedgeLost.Load(),
+		HedgeDenied:       c.hedgeDenied.Load(),
+		ClosedInFlight:    c.closedInFlight.Load(),
+		HealthTransitions: c.healthTransitions.Load(),
+		Batches:           c.batches.Load(),
+		Uptime:            time.Since(c.start),
+		Generation:        generation,
 	}
-	s.Shed = s.ShedAtEnq + s.ShedDeadline
+	s.Shed = s.ShedAtEnq + s.ShedDeadline + s.ShedPriority
 	if s.Batches > 0 {
-		s.MeanBatch = float64(s.Completed+s.Canceled+s.ShedDeadline) / float64(s.Batches)
+		s.MeanBatch = float64(s.Completed+s.Canceled+s.ShedDeadline+s.Panicked+s.Dropped+s.HedgeLost) / float64(s.Batches)
 	}
 	s.BatchSizeDist = make([]uint64, len(c.batchDist))
 	for i := range c.batchDist {

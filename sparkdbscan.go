@@ -294,8 +294,52 @@ type ServeOptions = serve.Options
 type ServeStats = serve.Stats
 
 // ErrOverloaded is returned for queries shed by a Server's
-// backpressure (admission queue full, or queue delay past the limit).
+// backpressure (admission queue full, queue delay past the limit, or
+// priority shedding while degraded). More specific shed sentinels in
+// internal/serve wrap it, so errors.Is(err, ErrOverloaded) matches
+// every shed class.
 var ErrOverloaded = serve.ErrOverloaded
+
+// ErrClosed is returned for queries arriving after Close or Drain, and
+// for queries in flight when Close tears the pool down (Drain answers
+// them instead).
+var ErrClosed = serve.ErrClosed
+
+// ErrPanicked is returned for the one query whose evaluation panicked.
+// Panics are confined to the poisoned request: the worker recovers,
+// other queries in the same batch are answered normally, and the
+// process never dies.
+var ErrPanicked = serve.ErrPanicked
+
+// Priority orders queries for shedding under degraded health: Degraded
+// sheds PriorityLow at admission, BrownedOut serves only PriorityHigh.
+// The zero value is PriorityNormal; set one per query with
+// Server.AssignPriority.
+type Priority = serve.Priority
+
+const (
+	PriorityLow    = serve.PriorityLow
+	PriorityNormal = serve.PriorityNormal
+	PriorityHigh   = serve.PriorityHigh
+)
+
+// Health is the server's position on the graceful-degradation ladder
+// (healthy, degraded, browned-out), driven by the queue-delay EWMA.
+// It is reported in ServeStats.Health.
+type Health = serve.Health
+
+const (
+	HealthHealthy    = serve.HealthHealthy
+	HealthDegraded   = serve.HealthDegraded
+	HealthBrownedOut = serve.HealthBrownedOut
+)
+
+// ChaosProfile deterministically injects worker faults (kills, stalls,
+// slowdowns, poisoned requests, dropped responses) into a Server for
+// resilience testing: same seed, same fault schedule. Set it in
+// ServeOptions.Chaos. See examples/resilience and the -chaosbench
+// benchmark.
+type ChaosProfile = serve.ChaosProfile
 
 // Freeze snapshots a clustering into a Model for serving. It derives
 // the core-point set from the dataset (distributed results keep only
