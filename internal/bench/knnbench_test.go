@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A tiny run of the knn frontier: the accuracy and determinism gates
+// must hold even at 800 points, and the artifact must record the
+// waived speed gate honestly.
+func TestKNNBenchSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_knn.json")
+	var out bytes.Buffer
+	if err := RunKNNBench(&out, path, 800, 7, true); err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep KNNBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Points != 800 || rep.Dim != 128 {
+		t.Fatalf("unexpected dataset shape: %+v", rep)
+	}
+	if len(rep.Arms) != 6 {
+		t.Fatalf("want exact+nndescent at 3 ks, got %d arms", len(rep.Arms))
+	}
+	if !rep.LabelsDeterministic {
+		t.Fatal("labels depend on the DSU worker count")
+	}
+	if rep.SpeedGateEnforced {
+		t.Fatal("smoke run must waive the full-size speed gate")
+	}
+	// The accuracy gates, as recorded in the artifact.
+	if rep.NMIExactAtDefaultK < 0.99 || rep.NMIApproxAtDefaultK < 0.99 {
+		t.Fatalf("NMI gate failed at k=%d: exact %.4f, approx %.4f",
+			rep.DefaultK, rep.NMIExactAtDefaultK, rep.NMIApproxAtDefaultK)
+	}
+	for _, arm := range rep.Arms {
+		if arm.Algo == "exact" && arm.Recall != 1 {
+			t.Fatalf("exact arm recall %.4f, want 1: %+v", arm.Recall, arm)
+		}
+		if arm.Recall < 0.5 {
+			t.Fatalf("implausible recall: %+v", arm)
+		}
+		if arm.NumClusters != rep.RefClusters {
+			t.Fatalf("arm found %d clusters, exact DBSCAN found %d: %+v",
+				arm.NumClusters, rep.RefClusters, arm)
+		}
+	}
+}

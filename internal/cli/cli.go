@@ -20,6 +20,7 @@ import (
 	"sparkdbscan/internal/dbscan"
 	"sparkdbscan/internal/geom"
 	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/knng"
 	"sparkdbscan/internal/quest"
 	"sparkdbscan/internal/serve"
 	"sparkdbscan/internal/spark"
@@ -35,7 +36,7 @@ func RunDatagen(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		name   = fs.String("dataset", "all", "dataset name (c10k, c100k, r10k, r100k, r1m) or 'all'")
+		name   = fs.String("dataset", "all", "dataset name (c10k, c100k, r10k, r100k, r1m; 'all' = those five) or an embedding mixture (embed4k, embed20k)")
 		outDir = fs.String("out", ".", "output directory")
 		format = fs.String("format", "txt", "output format: txt or bin")
 		scale  = fs.Float64("scale", 1.0, "shrink datasets to this fraction of their Table I size")
@@ -57,23 +58,43 @@ func RunDatagen(args []string, stdout io.Writer) error {
 		return fmt.Errorf("datagen: %w", err)
 	}
 	for _, n := range names {
-		spec, err := quest.ByName(n)
-		if err != nil {
-			return err
-		}
-		if *scale < 1 {
-			spec = spec.Scaled(int(float64(spec.N) * *scale))
-		}
-		ds, err := quest.Generate(spec)
-		if err != nil {
-			return err
+		var (
+			ds           *geom.Dataset
+			eps          float64
+			minPts       int
+			suggestion   string
+			spec, serr   = quest.ByName(n)
+			espec, eserr = quest.EmbedByName(n)
+		)
+		switch {
+		case serr == nil:
+			if *scale < 1 {
+				spec = spec.Scaled(int(float64(spec.N) * *scale))
+			}
+			var err error
+			if ds, err = quest.Generate(spec); err != nil {
+				return err
+			}
+			eps, minPts = quest.TableIEps, quest.TableIMinPts
+		case eserr == nil:
+			if *scale < 1 {
+				espec = espec.Scaled(int(float64(espec.N) * *scale))
+			}
+			var err error
+			if ds, err = quest.GenerateEmbedding(espec); err != nil {
+				return err
+			}
+			eps, minPts = espec.Eps, espec.MinPts
+			suggestion = " -mode knn"
+		default:
+			return serr
 		}
 		path := filepath.Join(*outDir, fmt.Sprintf("%s.%s", n, *format))
 		if err := saveDataset(ds, path); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "%s: %d points, %d dims -> %s (cluster with -eps %g -minpts %d)\n",
-			n, ds.Len(), ds.Dim, path, quest.TableIEps, quest.TableIMinPts)
+		fmt.Fprintf(stdout, "%s: %d points, %d dims -> %s (cluster with -eps %g -minpts %d%s)\n",
+			n, ds.Len(), ds.Dim, path, eps, minPts, suggestion)
 	}
 	return nil
 }
@@ -106,12 +127,41 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 
 		serveDemo  = fs.Bool("serve-demo", false, "after clustering, freeze a serving snapshot and answer a few sample queries through a live server")
 		serveChaos = fs.Uint64("serve-chaos", 0, "with -serve-demo: chaos-profile seed; inject worker faults during the demo to show supervision (0 = off)")
+
+		mode       = fs.String("mode", "radius", "clustering mode: radius (kd-tree DBSCAN) or knn (kNN-graph DBSCAN for high-dimensional data)")
+		k          = fs.Int("k", 16, "knn mode: graph degree (must be >= minpts-1)")
+		knnAlgo    = fs.String("knnalgo", "exact", "knn mode: graph builder, exact or nndescent")
+		knnSeed    = fs.Uint64("knnseed", 1, "knn mode: sampling seed for -knnalgo nndescent (same seed, same labels)")
+		knnWorkers = fs.Int("knnworkers", 0, "knn mode: build/cluster worker goroutines (0 = all host cores; labels are identical at any count)")
+		knnMutual  = fs.Bool("knnmutual", false, "knn mode: require core-core edges to be mutual (conservative variant)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("dbscan: -in is required")
+	}
+	if *mode != "radius" && *mode != "knn" {
+		return fmt.Errorf("dbscan: unknown -mode %q (want radius or knn)", *mode)
+	}
+	knnMode := *mode == "knn"
+	if !knnMode {
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{*knnAlgo != "exact", "-knnalgo"},
+			{*knnSeed != 1, "-knnseed"},
+			{*knnWorkers != 0, "-knnworkers"},
+			{*knnMutual, "-knnmutual"},
+		} {
+			if bad.set {
+				return fmt.Errorf("dbscan: %s needs -mode knn", bad.flag)
+			}
+		}
+	}
+	if knnMode && *cores > 0 {
+		return fmt.Errorf("dbscan: -mode knn is a single-process mode; drop -cores (use -knnworkers for parallelism)")
 	}
 	observing := *traceOut != "" || *metricsOut != "" || *gantt
 	if observing && *cores <= 0 {
@@ -151,7 +201,34 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	var dist coredbscan.DistStats
 	mergeInfo := ""
 	params := dbscan.Params{Eps: *eps, MinPts: *minPts}
-	if *cores <= 0 {
+	if knnMode {
+		var g *knng.Graph
+		buildStart := time.Now()
+		switch *knnAlgo {
+		case "exact":
+			g, err = knng.BuildExact(ds, *k, *knnWorkers)
+		case "nndescent":
+			g, err = knng.BuildNNDescent(ds, *k, knng.ApproxOptions{Seed: *knnSeed, Workers: *knnWorkers})
+		default:
+			return fmt.Errorf("dbscan: unknown -knnalgo %q (want exact or nndescent)", *knnAlgo)
+		}
+		if err != nil {
+			return err
+		}
+		buildTime := time.Since(buildStart)
+		edges := knng.EdgeOneSided
+		if *knnMutual {
+			edges = knng.EdgeMutual
+		}
+		res, err := knng.DBSCAN(g, params, knng.Options{Workers: *knnWorkers, Edges: edges})
+		if err != nil {
+			return err
+		}
+		labels, numClusters, numNoise = res.Labels, res.NumClusters, res.NumNoise
+		coreFlags = res.Core
+		mergeInfo = fmt.Sprintf("knn graph: %s, k=%d, %s edges (built in %s)",
+			*knnAlgo, *k, edges, buildTime.Round(time.Millisecond))
+	} else if *cores <= 0 {
 		res, err := dbscan.Run(ds, kdtree.Build(ds), params)
 		if err != nil {
 			return err
@@ -240,6 +317,9 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "points:   %d (dim %d)\n", ds.Len(), ds.Dim)
 	fmt.Fprintf(stdout, "clusters: %d\n", numClusters)
 	fmt.Fprintf(stdout, "noise:    %d\n", numNoise)
+	if knnMode {
+		fmt.Fprintf(stdout, "%s\n", mergeInfo)
+	}
 	if *cores > 0 {
 		fmt.Fprintf(stdout, "partial clusters: %d\n", partials)
 		fmt.Fprintf(stdout, "%s\n", mergeInfo)
@@ -308,6 +388,10 @@ func RunBench(args []string, stdout io.Writer) error {
 
 		mergebench  = fs.String("mergebench", "", "run the sequential-vs-parallel driver-merge benchmark, write JSON to this path (e.g. BENCH_merge.json), and exit")
 		mergepoints = fs.Int("mergepoints", 4000, "dataset points for the -mergebench traced pipeline section")
+
+		knnbench  = fs.String("knnbench", "", "run the high-dimensional kNN-graph benchmark, write JSON to this path (e.g. BENCH_knn.json), and exit non-zero if an accuracy/speed gate fails")
+		knnpoints = fs.Int("knnpoints", 20000, "embedding points for -knnbench (d=128)")
+		knnseed   = fs.Uint64("knnseed", 1, "NN-descent sampling seed for -knnbench")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -326,6 +410,9 @@ func RunBench(args []string, stdout io.Writer) error {
 	}
 	if *mergebench != "" {
 		return bench.RunMergeBench(stdout, *mergebench, *mergepoints, *smoke)
+	}
+	if *knnbench != "" {
+		return bench.RunKNNBench(stdout, *knnbench, *knnpoints, *knnseed, *smoke)
 	}
 	if *kdbench != "" {
 		return bench.RunKDBench(stdout, *kdbench, *kdreps)

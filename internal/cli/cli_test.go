@@ -2,6 +2,7 @@ package cli
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -438,6 +439,102 @@ func TestBenchPartBench(t *testing.T) {
 	for _, want := range []string{"bcast/exec", "range", "cell", "labels across modes: identical", "(proj)"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDatagenEmbedding(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := RunDatagen([]string{"-dataset", "embed4k", "-scale", "0.2", "-out", dir}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "embed4k.txt")); err != nil {
+		t.Fatalf("output file missing: %v", err)
+	}
+	if !strings.Contains(out.String(), "800 points, 128 dims") ||
+		!strings.Contains(out.String(), "-mode knn") {
+		t.Fatalf("unexpected summary: %s", out.String())
+	}
+}
+
+func TestDBSCANKNNMode(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := RunDatagen([]string{"-dataset", "embed4k", "-scale", "0.2", "-out", dir,
+		"-format", "bin"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "embed4k.bin")
+
+	out.Reset()
+	if err := RunDBSCAN([]string{"-in", in, "-eps", "0.4", "-minpts", "8",
+		"-mode", "knn"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	exact := out.String()
+	if !strings.Contains(exact, "clusters: 2") || !strings.Contains(exact, "knn graph: exact, k=16") {
+		t.Fatalf("knn exact output:\n%s", exact)
+	}
+
+	// The approximate builder: same seed, byte-identical label files,
+	// at any worker count.
+	var ref []byte
+	for i, workers := range []string{"1", "3"} {
+		labelFile := filepath.Join(dir, fmt.Sprintf("labels%d.txt", i))
+		out.Reset()
+		if err := RunDBSCAN([]string{"-in", in, "-eps", "0.4", "-minpts", "8",
+			"-mode", "knn", "-knnalgo", "nndescent", "-knnseed", "7",
+			"-knnworkers", workers, "-out", labelFile}, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "knn graph: nndescent") {
+			t.Fatalf("knn nndescent output:\n%s", out.String())
+		}
+		raw, err := os.ReadFile(labelFile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = raw
+		} else if !bytes.Equal(ref, raw) {
+			t.Fatal("nndescent labels differ across -knnworkers for the same seed")
+		}
+	}
+
+	// The mutual edge rule is accepted.
+	out.Reset()
+	if err := RunDBSCAN([]string{"-in", in, "-eps", "0.4", "-minpts", "8",
+		"-mode", "knn", "-knnmutual"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mutual edges") {
+		t.Fatalf("knn mutual output:\n%s", out.String())
+	}
+}
+
+func TestDBSCANKNNModeErrors(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := RunDatagen([]string{"-dataset", "c10k", "-scale", "0.05", "-out", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(dir, "c10k.txt")
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"unknown mode", []string{"-in", in, "-mode", "galactic"}},
+		{"knn with cores", []string{"-in", in, "-mode", "knn", "-cores", "4"}},
+		{"knnalgo without knn mode", []string{"-in", in, "-knnalgo", "nndescent"}},
+		{"knnseed without knn mode", []string{"-in", in, "-knnseed", "9"}},
+		{"knnmutual without knn mode", []string{"-in", in, "-knnmutual"}},
+		{"bad knnalgo", []string{"-in", in, "-mode", "knn", "-knnalgo", "voodoo"}},
+		{"k below minpts-1", []string{"-in", in, "-mode", "knn", "-k", "2", "-minpts", "5"}},
+	} {
+		if err := RunDBSCAN(tc.args, &out); err == nil {
+			t.Errorf("%s accepted", tc.name)
 		}
 	}
 }

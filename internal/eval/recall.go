@@ -1,0 +1,42 @@
+package eval
+
+import "fmt"
+
+// RecallAtK measures how faithful an approximate kNN graph is to the
+// exact one: the mean, over all points, of the fraction of the point's
+// k true nearest neighbours present in its approximate list. Both
+// graphs are passed as flattened neighbour lists (point i's neighbours
+// at [i*k:(i+1)*k], any order within the list). 1 means every list is
+// perfect; the knn benchmark gates sit on this metric.
+//
+// Distance ties make the "true" k-set ambiguous; callers that need
+// tie-robustness should break ties by index when building both graphs
+// (as internal/knng does), which makes the exact list unique.
+func RecallAtK(approx, exact []int32, k int) (float64, error) {
+	if k <= 0 {
+		return 0, fmt.Errorf("eval: RecallAtK needs k > 0, got %d", k)
+	}
+	if len(approx) != len(exact) {
+		return 0, fmt.Errorf("eval: neighbour list length mismatch %d vs %d", len(approx), len(exact))
+	}
+	if len(exact)%k != 0 {
+		return 0, fmt.Errorf("eval: list length %d not divisible by k=%d", len(exact), k)
+	}
+	n := len(exact) / k
+	if n == 0 {
+		return 1, nil
+	}
+	hits := 0
+	for i := 0; i < n; i++ {
+		a := approx[i*k : (i+1)*k]
+		for _, e := range exact[i*k : (i+1)*k] {
+			for _, x := range a {
+				if x == e {
+					hits++
+					break
+				}
+			}
+		}
+	}
+	return float64(hits) / float64(n*k), nil
+}

@@ -1,0 +1,35 @@
+package eval
+
+import "testing"
+
+func TestRecallAtK(t *testing.T) {
+	cases := []struct {
+		name   string
+		approx []int32
+		exact  []int32
+		k      int
+		want   float64
+		ok     bool
+	}{
+		{name: "perfect", approx: []int32{1, 2, 0, 2, 0, 1}, exact: []int32{1, 2, 0, 2, 0, 1}, k: 2, want: 1, ok: true},
+		{name: "order ignored", approx: []int32{2, 1, 2, 0, 1, 0}, exact: []int32{1, 2, 0, 2, 0, 1}, k: 2, want: 1, ok: true},
+		{name: "half wrong", approx: []int32{1, 3, 0, 3, 0, 3}, exact: []int32{1, 2, 0, 2, 0, 1}, k: 2, want: 0.5, ok: true},
+		{name: "all wrong", approx: []int32{3, 4, 3, 4, 3, 4}, exact: []int32{1, 2, 0, 2, 0, 1}, k: 2, want: 0, ok: true},
+		{name: "one point partial", approx: []int32{5, 1, 2, 9}, exact: []int32{1, 2, 3, 4}, k: 4, want: 0.5, ok: true},
+		{name: "empty", approx: nil, exact: nil, k: 3, want: 1, ok: true},
+		{name: "bad k", approx: []int32{1}, exact: []int32{1}, k: 0, ok: false},
+		{name: "length mismatch", approx: []int32{1}, exact: []int32{1, 2}, k: 1, ok: false},
+		{name: "not divisible", approx: []int32{1, 2, 3}, exact: []int32{1, 2, 3}, k: 2, ok: false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := RecallAtK(c.approx, c.exact, c.k)
+			if c.ok != (err == nil) {
+				t.Fatalf("RecallAtK error = %v, want ok=%v", err, c.ok)
+			}
+			if c.ok && got != c.want {
+				t.Fatalf("RecallAtK = %g, want %g", got, c.want)
+			}
+		})
+	}
+}

@@ -77,6 +77,55 @@ func sqDistUnrolled(a, b []float64) float64 {
 	return s0 + s1 + s2 + s3
 }
 
+// SqDistDFiltered computes SqDistD(a, b) with an early exit: at every
+// 16-dimension checkpoint the partial sum is tested against limit, and
+// once it exceeds limit the scan aborts, returning (partial, false).
+// A completed scan returns (d2, true) where d2 is BIT-IDENTICAL to
+// SqDistD(a, b) — the accumulator pattern is exactly sqDistUnrolled's,
+// and the checkpoint only reads the accumulators — so callers can use
+// the completed value directly where canonical distances are required
+// (deterministic graph builds) without a second full pass. Dimensions
+// with a dedicated kernel (2, 3, 10) and anything below one checkpoint
+// stride just compute fully.
+func SqDistDFiltered(a, b []float64, limit float64) (float64, bool) {
+	if len(a) < 16 {
+		d2 := SqDistD(a, b)
+		return d2, d2 <= limit
+	}
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+16 <= len(a); i += 16 {
+		for j := i; j < i+16; j += 4 {
+			d0 := a[j] - b[j]
+			d1 := a[j+1] - b[j+1]
+			d2 := a[j+2] - b[j+2]
+			d3 := a[j+3] - b[j+3]
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		if s := s0 + s1 + s2 + s3; s > limit {
+			return s, false
+		}
+	}
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3, true
+}
+
 // SqDistEarly returns the squared distance between a and b, except that
 // once the partial sum exceeds limit it may return any value > limit
 // without finishing the remaining dimensions. Callers that only compare

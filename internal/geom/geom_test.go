@@ -273,3 +273,42 @@ func TestSizeBytes(t *testing.T) {
 		t.Fatalf("SizeBytes = %d, want 240", got)
 	}
 }
+
+// SqDistDFiltered's contract: a completed scan returns SqDistD's value
+// bit-for-bit (callers store it as the canonical distance without a
+// second pass), and an aborted scan only ever happens when the true
+// distance genuinely exceeds the limit.
+func TestSqDistDFiltered(t *testing.T) {
+	r := rng.New(77)
+	for _, dim := range []int{2, 3, 5, 10, 16, 31, 64, 128, 130} {
+		a := make([]float64, dim)
+		b := make([]float64, dim)
+		for trial := 0; trial < 200; trial++ {
+			for j := 0; j < dim; j++ {
+				a[j] = r.Float64()*20 - 10
+				b[j] = r.Float64()*20 - 10
+			}
+			want := SqDistD(a, b)
+			// Limits from far below to far above the true distance.
+			for _, limit := range []float64{0, want * 0.25, want, want * 4, math.Inf(1)} {
+				got, ok := SqDistDFiltered(a, b, limit)
+				if ok {
+					if got != want {
+						t.Fatalf("dim %d: completed scan returned %v, SqDistD %v", dim, got, want)
+					}
+				} else {
+					if want <= limit {
+						t.Fatalf("dim %d: aborted at limit %v although true distance %v fits", dim, limit, want)
+					}
+					if got <= limit {
+						t.Fatalf("dim %d: aborted scan returned %v <= limit %v", dim, got, limit)
+					}
+				}
+			}
+			// A completed scan must always happen when limit >= want.
+			if _, ok := SqDistDFiltered(a, b, want); !ok {
+				t.Fatalf("dim %d: scan aborted at limit == true distance", dim)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package kdtree
+
+// High-dimensional degradation: kd-tree pruning relies on single-axis
+// splits carving the query ball out of subtrees, and in high dimension
+// the ball's radius dwarfs any single-axis spread — every box straddles
+// the ball boundary, so the traversal visits everything and the tree
+// degenerates to a (more expensive) brute-force scan. These tests lock
+// in that correctness still holds there (the degenerate path must
+// remain exact), which is the safety net under internal/knng: the knn
+// mode exists precisely because these dimensions defeat the tree.
+//
+// Measured crossover on this host (BenchmarkRadiusByDim, n=4000,
+// Xeon @2.10GHz): on uniform data — the worst case, no macro-structure
+// to prune — the packed tree wins 4.2x at d=10 and 5.2x at d=32, then
+// LOSES to BruteForce at d=64 (0.57x) and d=128 (0.69x): the break-even
+// sits between d≈32 and d≈64, past which visiting every node costs
+// more than the flat scan. Well-separated clustered data keeps pruning
+// through cluster bounding boxes much longer (tree still 5.5x ahead at
+// d=64, 6x at d=128 on 8 separated blobs), but that is exactly the
+// structure real embedding workloads lack at query scale — hence the
+// KNN-DBSCAN mode.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/rng"
+)
+
+// TestHighDimEquivalence property-tests the packed tree against
+// BruteForce at d=64 and d=128 — uniform and clustered data, random
+// and on-point queries, with eps spanning empty through nearly-full
+// neighbourhoods. Pruning is useless here; correctness must survive.
+func TestHighDimEquivalence(t *testing.T) {
+	for _, dim := range []int{64, 128} {
+		for _, ls := range []int{16, 128} {
+			for _, clustered := range []bool{false, true} {
+				var name string
+				var ds = randomDataset(uint64(dim+ls), 400, dim)
+				if clustered {
+					ds = clusteredDataset(uint64(dim*10+ls), 400, dim, 5, 2)
+					name = fmt.Sprintf("clustered/d%d/leaf%d", dim, ls)
+				} else {
+					name = fmt.Sprintf("uniform/d%d/leaf%d", dim, ls)
+				}
+				t.Run(name, func(t *testing.T) {
+					bf := NewBruteForce(ds)
+					tree := BuildLeafSize(ds, ls)
+					r := rng.New(uint64(dim) ^ 0xd1d1)
+					for trial := 0; trial < 12; trial++ {
+						q := make([]float64, dim)
+						for j := range q {
+							q[j] = r.Float64() * 100
+						}
+						// In d dimensions the domain diagonal is
+						// 100√d; sweep eps from tiny to most of it.
+						eps := (5 + r.Float64()*40) * float64(dim) / 10
+						checkEquivalence(t, tree, bf, q, eps, 1+trial%7)
+					}
+					for qi := int32(0); qi < 400; qi += 61 {
+						checkEquivalence(t, tree, bf, ds.At(qi), 8*float64(dim)/10, 5)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkRadiusByDim measures the tree-vs-brute crossover as the
+// dimension climbs (see the file comment for the recorded numbers).
+// The uniform arms are the degradation story; the clustered arms show
+// how long macro-structure delays it.
+func BenchmarkRadiusByDim(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		dim  int
+	}{
+		{"uniform", 10}, {"uniform", 32}, {"uniform", 64}, {"uniform", 128},
+		{"clustered", 64}, {"clustered", 128},
+	} {
+		dim := tc.dim
+		var ds *geom.Dataset
+		var eps float64
+		if tc.name == "uniform" {
+			ds = randomDataset(uint64(dim), 4000, dim)
+			// Mean squared pair distance per axis on U[0,100] is
+			// 100²/6; 0.82x the resulting mean distance keeps the
+			// neighbourhood small but non-empty at every d.
+			eps = 0.82 * math.Sqrt(float64(dim)*10000/6)
+		} else {
+			ds = clusteredDataset(uint64(dim), 4000, dim, 8, 5)
+			eps = 12 * float64(dim) / 10
+		}
+		queries := make([][]float64, 0, 50)
+		for qi := int32(0); qi < 4000; qi += 80 {
+			queries = append(queries, ds.At(qi))
+		}
+		tree := Build(ds)
+		bf := NewBruteForce(ds)
+		b.Run(fmt.Sprintf("tree/%s/d%d", tc.name, dim), func(b *testing.B) {
+			var out []int32
+			for i := 0; i < b.N; i++ {
+				out = tree.Radius(queries[i%len(queries)], eps, out[:0], nil)
+			}
+		})
+		b.Run(fmt.Sprintf("brute/%s/d%d", tc.name, dim), func(b *testing.B) {
+			var out []int32
+			for i := 0; i < b.N; i++ {
+				out = bf.Radius(queries[i%len(queries)], eps, out[:0], nil)
+			}
+		})
+	}
+}

@@ -1,0 +1,374 @@
+package knng
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/rng"
+)
+
+// ApproxOptions tunes BuildNNDescent. The zero value picks defaults.
+type ApproxOptions struct {
+	// Seed drives every sampling decision (initial lists, reverse
+	// sampling offsets). Two builds with the same seed and dataset are
+	// byte-identical, at any worker count.
+	Seed uint64
+	// Workers parallelizes the per-point improvement step; <= 0 uses
+	// GOMAXPROCS.
+	Workers int
+	// Iters caps the number of improvement rounds (default 12; the
+	// Delta test usually stops earlier).
+	Iters int
+	// Sample caps how many entries each forward and reverse list
+	// contributes to a round's candidate pool and two-hop expansion
+	// (Dong et al.'s sample rate rho, as a count: Sample ~ rho*k).
+	// Default max(4, k/2). Lower trades recall for speed; the join
+	// cost is roughly quadratic in it.
+	Sample int
+	// Delta stops iterating once fewer than Delta*n lists changed in a
+	// round (default 0.001).
+	Delta float64
+}
+
+func (o ApproxOptions) withDefaults(k int) ApproxOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Iters <= 0 {
+		o.Iters = 12
+	}
+	if o.Sample <= 0 {
+		o.Sample = k / 2
+		if o.Sample < 4 {
+			o.Sample = 4
+		}
+	}
+	if o.Delta <= 0 {
+		o.Delta = 0.001
+	}
+	return o
+}
+
+// revEntry is one reverse edge j→t recorded at t, carrying the "new"
+// flag of the forward entry it mirrors.
+type revEntry struct {
+	j     int32
+	fresh bool
+}
+
+// BuildNNDescent builds an approximate kNN graph by neighbour
+// propagation (NN-descent, Dong et al., WWW'11): start from seeded
+// random lists, then repeatedly offer every point the neighbours of its
+// neighbours (forward and reverse), keeping the k best. Distances are
+// always computed exactly, so the graph can miss true neighbours but
+// never misstates a distance.
+//
+// Unlike the classic formulation — whose cross-updates make the result
+// depend on thread interleaving — each round here computes point i's
+// new list as a pure function of the previous round's graph (a
+// synchronous "Jacobi" sweep): candidates are gathered through i's
+// 2-hop neighbourhood, admitted only when one of the two hops was
+// inserted in the previous round (the incremental new-edge join that
+// gives NN-descent its speed), deduplicated, and merged under the same
+// (distance, index) order the exact builder uses. Rounds end when fewer
+// than Delta*n lists changed. The result is therefore byte-identical
+// per (dataset, k, Seed, Iters, Sample, Delta) at any worker count.
+func BuildNNDescent(ds *geom.Dataset, k int, opt ApproxOptions) (*Graph, error) {
+	if err := validateBuild(ds, k); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults(k)
+	n := ds.Len()
+
+	// Current graph, heap-ordered per point, squared distances. fresh
+	// marks entries inserted in the latest round.
+	idx := make([]int32, n*k)
+	d2 := make([]float64, n*k)
+	fresh := make([]bool, n*k)
+	initRandomLists(ds, k, opt.Seed, opt.Workers, idx, d2, fresh)
+
+	nextIdx := make([]int32, n*k)
+	nextD2 := make([]float64, n*k)
+	nextFresh := make([]bool, n*k)
+
+	rev := make([][]revEntry, n)
+	stop := int(opt.Delta * float64(n))
+	for round := 0; round < opt.Iters; round++ {
+		// Reverse adjacency, rebuilt per round from the current graph.
+		// Appends scan points in ascending order, so each rev list is
+		// deterministically ordered; sampleRev then caps it.
+		for t := range rev {
+			rev[t] = rev[t][:0]
+		}
+		for i := 0; i < n; i++ {
+			for s := i * k; s < (i+1)*k; s++ {
+				t := idx[s]
+				rev[t] = append(rev[t], revEntry{j: int32(i), fresh: fresh[s]})
+			}
+		}
+
+		var changed atomic.Int64
+		runBlocks(n, opt.Workers, func(lo, hi int) {
+			w := &descentWorker{
+				ds: ds, k: k, idx: idx, d2: d2, fresh: fresh,
+				rev: rev, seed: opt.Seed, round: round, sample: opt.Sample,
+				visited: make([]int32, n),
+				h:       heapList{idx: make([]int32, k), d2: make([]float64, k)},
+				hFresh:  make([]bool, k),
+			}
+			local := 0
+			for i := lo; i < hi; i++ {
+				if w.improve(int32(i), nextIdx[i*k:(i+1)*k], nextD2[i*k:(i+1)*k], nextFresh[i*k:(i+1)*k]) {
+					local++
+				}
+			}
+			changed.Add(int64(local))
+		})
+		idx, nextIdx = nextIdx, idx
+		d2, nextD2 = nextD2, d2
+		fresh, nextFresh = nextFresh, fresh
+		if int(changed.Load()) <= stop {
+			break
+		}
+	}
+
+	// Finalize: sort each list ascending and take square roots.
+	g := &Graph{K: k, Idx: make([]int32, n*k), Dist: make([]float64, n*k)}
+	runBlocks(n, opt.Workers, func(lo, hi int) {
+		h := heapList{}
+		for i := lo; i < hi; i++ {
+			h.idx = idx[i*k : (i+1)*k]
+			h.d2 = d2[i*k : (i+1)*k]
+			h.heapify()
+			h.extract(g.Idx[i*k:(i+1)*k], g.Dist[i*k:(i+1)*k])
+		}
+	})
+	return g, nil
+}
+
+// initRandomLists fills every point's list with k distinct random
+// non-self points, distances computed exactly, heap-ordered, all
+// entries fresh. Each point draws from its own rng.Hash64-derived
+// stream, so the init is independent of worker scheduling.
+func initRandomLists(ds *geom.Dataset, k int, seed uint64, workers int, idx []int32, d2 []float64, fresh []bool) {
+	n := ds.Len()
+	runBlocks(n, workers, func(lo, hi int) {
+		var h heapList
+		for i := lo; i < hi; i++ {
+			r := rng.New(rng.Hash64(seed^0x6b6e6e67<<24) + rng.Hash64(uint64(i)))
+			list := idx[i*k : (i+1)*k]
+			dist := d2[i*k : (i+1)*k]
+			for m := 0; m < k; {
+				c := int32(r.Intn(n))
+				if c == int32(i) {
+					continue
+				}
+				dup := false
+				for _, prev := range list[:m] {
+					if prev == c {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				list[m] = c
+				dist[m] = geom.SqDistD(ds.At(int32(i)), ds.At(c))
+				m++
+			}
+			h.idx, h.d2 = list, dist
+			h.heapify()
+			for m := 0; m < k; m++ {
+				fresh[i*k+m] = true
+			}
+		}
+	})
+}
+
+// descentWorker holds one worker's scratch state for a round.
+type descentWorker struct {
+	ds     *geom.Dataset
+	k      int
+	idx    []int32
+	d2     []float64
+	fresh  []bool
+	rev    [][]revEntry
+	seed   uint64
+	round  int
+	sample int
+
+	visited []int32 // epoch-stamped dedupe
+	epoch   int32
+	h       heapList
+	hFresh  []bool
+	pool    []revEntry
+}
+
+// improve computes point i's next list from the current graph, writing
+// into outIdx/outD2/outFresh, and reports whether the list changed.
+func (w *descentWorker) improve(i int32, outIdx []int32, outD2 []float64, outFresh []bool) bool {
+	k := w.k
+	w.epoch++
+	ep := w.epoch
+	w.visited[i] = ep
+
+	// Start from the current list (already heap-ordered). A surviving
+	// entry keeps its fresh flag until the pool walk below actually
+	// samples it (Dong et al.'s rule: "new" is cleared on use, not on
+	// age) — with sampled joins an edge's turn may come a round or two
+	// after its insertion, and dropping the flag early would silently
+	// discard its join opportunity.
+	off, stride := strideWalk(k, w.sample, w.seed, w.round, i, saltFwdPool)
+	copy(w.h.idx, w.idx[int(i)*k:(int(i)+1)*k])
+	copy(w.h.d2, w.d2[int(i)*k:(int(i)+1)*k])
+	for m := range w.hFresh {
+		sampled := m >= off && (m-off)%stride == 0
+		w.hFresh[m] = w.fresh[int(i)*k+m] && !sampled
+	}
+	for _, c := range w.h.idx {
+		w.visited[c] = ep
+	}
+
+	// Pool: a sampled slice of i's forward list plus a sampled slice of
+	// its reverse one (Dong et al.'s rho-sampling on both sides), each
+	// entry tagged with the freshness of the edge that put it there.
+	w.pool = w.pool[:0]
+	for s := int(i)*k + off; s < (int(i)+1)*k; s += stride {
+		w.pool = append(w.pool, revEntry{j: w.idx[s], fresh: w.fresh[s]})
+	}
+	fwdLen := len(w.pool)
+	off, stride = strideWalk(len(w.rev[i]), w.sample, w.seed, w.round, i, saltRevPool)
+	for s := off; s < len(w.rev[i]); s += stride {
+		w.pool = append(w.pool, w.rev[i][s])
+	}
+
+	qc := w.ds.At(i)
+	changed := false
+	// Reverse pool members are themselves candidates (forward ones are
+	// already in the list).
+	for _, p := range w.pool[fwdLen:] {
+		changed = w.offer(qc, p.j) || changed
+	}
+	// Two-hop candidates — each pool member's own sampled forward and
+	// reverse slices — admitted only through a fresh hop.
+	for _, p := range w.pool {
+		off, stride = strideWalk(k, w.sample, w.seed, w.round, p.j, saltFwdHop)
+		for s := int(p.j)*k + off; s < (int(p.j)+1)*k; s += stride {
+			if p.fresh || w.fresh[s] {
+				changed = w.offer(qc, w.idx[s]) || changed
+			}
+		}
+		rv := w.rev[p.j]
+		off, stride = strideWalk(len(rv), w.sample, w.seed, w.round, p.j, saltRevHop)
+		for s := off; s < len(rv); s += stride {
+			if p.fresh || rv[s].fresh {
+				changed = w.offer(qc, rv[s].j) || changed
+			}
+		}
+	}
+
+	copy(outIdx, w.h.idx)
+	copy(outD2, w.h.d2)
+	copy(outFresh, w.hFresh)
+	return changed
+}
+
+// offer computes the exact distance i→c (early-exited at the current
+// worst) and pushes it into the working heap, tracking freshness.
+func (w *descentWorker) offer(qc []float64, c int32) bool {
+	if w.visited[c] == w.epoch {
+		return false
+	}
+	w.visited[c] = w.epoch
+	// Fused early-exit scan; a completed value is canonical SqDistD
+	// bit-for-bit (see exactQuery).
+	limit := w.h.d2[0] * (1 + distFilterMargin)
+	d2, ok := geom.SqDistDFiltered(qc, w.ds.At(c), limit)
+	if !ok {
+		return false
+	}
+	if d2 > w.h.d2[0] || (d2 == w.h.d2[0] && c >= w.h.idx[0]) {
+		return false
+	}
+	w.pushFresh(c, d2)
+	return true
+}
+
+// pushFresh is heapList.push plus the parallel fresh-flag array.
+func (w *descentWorker) pushFresh(c int32, d2 float64) {
+	w.h.idx[0], w.h.d2[0], w.hFresh[0] = c, d2, true
+	// siftDown with the flag riding along.
+	h := &w.h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.idx) && h.worse(l, m) {
+			m = l
+		}
+		if r < len(h.idx) && h.worse(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.swap(i, m)
+		w.hFresh[i], w.hFresh[m] = w.hFresh[m], w.hFresh[i]
+		i = m
+	}
+}
+
+// Salts keep the four stride walks of a round decorrelated: the same
+// point's forward list is sampled at a different offset as pool source
+// versus two-hop expansion, and so on.
+const (
+	saltFwdPool = 0x9e3779b97f4a7c15
+	saltRevPool = 0xbf58476d1ce4e5b9
+	saltFwdHop  = 0x94d049bb133111eb
+	saltRevHop  = 0xd6e8feb86659fd93
+)
+
+// strideWalk picks a deterministic <= sample-element slice of a
+// length-element list: visit indices off, off+stride, ... A pure
+// function of (seed, round, t, salt), so every worker sees the same
+// slice, and the offset rotates with the round so repeated rounds
+// cover different elements. length <= sample walks everything.
+func strideWalk(length, sample int, seed uint64, round int, t int32, salt uint64) (off, stride int) {
+	if length <= sample {
+		return 0, 1
+	}
+	stride = (length + sample - 1) / sample
+	off = int(rng.Hash64(seed^salt^(uint64(round)<<40)^uint64(uint32(t))) % uint64(stride))
+	return off, stride
+}
+
+// runBlocks splits [0, n) into contiguous per-worker spans and runs fn
+// on each concurrently. Spans are a pure function of (n, workers), but
+// since every fn writes only its own span's outputs the results are
+// identical for any worker count.
+func runBlocks(n, workers int, fn func(lo, hi int)) {
+	if workers <= 1 || n < 2*queryBlock {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	span := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += span {
+		hi := lo + span
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,189 @@
+package quest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/rng"
+)
+
+// EmbedSpec describes a synthetic embedding workload: a Gaussian
+// mixture on the unit sphere S^(Dim-1), the geometry of normalized
+// neural embeddings. Each planted cluster is an isotropic Gaussian cap
+// around a random unit direction; noise points are uniform random unit
+// vectors. In high dimension two uniform unit vectors are nearly
+// orthogonal (distance ≈ √2), so noise sits far from everything —
+// exactly the regime where DBSCAN works through a kNN graph and a
+// kd-tree degenerates to brute force (see the kdtree high-dimension
+// tests).
+type EmbedSpec struct {
+	Name        string
+	N           int // total points, including noise
+	Dim         int // embedding dimension (128 for the reference mixtures)
+	NumClusters int
+	// Spread is the per-axis Gaussian sigma before renormalization.
+	// The typical intra-cluster distance after projection is about
+	// Spread·√(2·Dim); Eps below must sit above it and far below the
+	// ≈√2 inter-cluster floor.
+	Spread    float64
+	NoiseFrac float64
+	Seed      uint64
+	// Eps and MinPts are the reference DBSCAN parameters this mixture
+	// is calibrated for: DBSCAN(Eps, MinPts) recovers the planted
+	// clusters and rejects the noise.
+	Eps    float64
+	MinPts int
+}
+
+// Validate reports whether the spec is generatable.
+func (s EmbedSpec) Validate() error {
+	switch {
+	case s.N <= 0:
+		return fmt.Errorf("quest: embed N must be positive, got %d", s.N)
+	case s.Dim < 2:
+		return fmt.Errorf("quest: embed Dim must be >= 2, got %d", s.Dim)
+	case s.NumClusters <= 0:
+		return fmt.Errorf("quest: embed NumClusters must be positive, got %d", s.NumClusters)
+	case s.Spread <= 0:
+		return fmt.Errorf("quest: embed Spread must be positive, got %g", s.Spread)
+	case s.NoiseFrac < 0 || s.NoiseFrac >= 1:
+		return fmt.Errorf("quest: embed NoiseFrac must be in [0,1), got %g", s.NoiseFrac)
+	}
+	return nil
+}
+
+// GenerateEmbedding builds the dataset described by spec. Output is
+// fully determined by the spec; ground truth goes into Dataset.Label
+// (NoiseLabel for noise) and the point order is a seeded shuffle, like
+// Generate.
+func GenerateEmbedding(spec EmbedSpec) (*geom.Dataset, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	r := rng.New(spec.Seed)
+	ds := geom.NewDataset(spec.N, spec.Dim)
+	ds.Label = make([]int32, spec.N)
+	ds.Name = spec.Name
+
+	centers := make([][]float64, spec.NumClusters)
+	for c := range centers {
+		centers[c] = randomUnit(r, spec.Dim)
+	}
+
+	numNoise := int(float64(spec.N) * spec.NoiseFrac)
+	numClustered := spec.N - numNoise
+	sizes := clusterSizes(numClustered, spec.NumClusters, r)
+
+	buf := make([]float64, spec.Dim)
+	pt := int32(0)
+	for c, size := range sizes {
+		center := centers[c]
+		for k := 0; k < size; k++ {
+			for j := 0; j < spec.Dim; j++ {
+				buf[j] = center[j] + r.NormFloat64()*spec.Spread
+			}
+			normalize(buf)
+			ds.Set(pt, buf)
+			ds.Label[pt] = int32(c)
+			pt++
+		}
+	}
+	for k := 0; k < numNoise; k++ {
+		copy(buf, randomUnit(r, spec.Dim))
+		ds.Set(pt, buf)
+		ds.Label[pt] = NoiseLabel
+		pt++
+	}
+
+	shuffleDataset(ds, r)
+	return ds, nil
+}
+
+// randomUnit draws a uniform random unit vector (isotropic Gaussian,
+// normalized).
+func randomUnit(r *rng.RNG, dim int) []float64 {
+	v := make([]float64, dim)
+	for {
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		var s float64
+		for _, x := range v {
+			s += x * x
+		}
+		if s > 1e-12 {
+			inv := 1 / math.Sqrt(s)
+			for j := range v {
+				v[j] *= inv
+			}
+			return v
+		}
+	}
+}
+
+func normalize(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	if s > 1e-12 {
+		inv := 1 / math.Sqrt(s)
+		for j := range v {
+			v[j] *= inv
+		}
+	}
+}
+
+// embedSpecs returns the reference embedding mixtures. embed20k is the
+// configuration the knn benchmark gates run at (n=20k, d=128); embed4k
+// is its CI-sized sibling. Spread 0.02 puts the typical intra-cluster
+// distance near 0.02·√256 ≈ 0.32, far below the ≈1.41 noise floor, so
+// DBSCAN(0.4, 8) separates cleanly; the knn default k=16 then gives
+// every core point its minPts−1 = 7 witnesses with headroom.
+func embedSpecs() []EmbedSpec {
+	return []EmbedSpec{
+		{Name: "embed4k", N: 4_000, Dim: 128, NumClusters: 8,
+			Spread: 0.02, NoiseFrac: 0.05, Seed: 0xe4b4, Eps: 0.4, MinPts: 8},
+		{Name: "embed20k", N: 20_000, Dim: 128, NumClusters: 32,
+			Spread: 0.02, NoiseFrac: 0.05, Seed: 0xe20e20, Eps: 0.4, MinPts: 8},
+	}
+}
+
+// EmbedSpecs returns the reference embedding mixtures (embed4k,
+// embed20k).
+func EmbedSpecs() []EmbedSpec { return embedSpecs() }
+
+// EmbedByName returns the embedding spec with the given name.
+func EmbedByName(name string) (EmbedSpec, error) {
+	for _, s := range embedSpecs() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, 2)
+	for _, s := range embedSpecs() {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return EmbedSpec{}, fmt.Errorf("quest: unknown embedding dataset %q (have %v)", name, names)
+}
+
+// Scaled returns a copy of spec shrunk to about n points, scaling the
+// cluster count to keep per-cluster size (and so the local density
+// DBSCAN sees) intact, like Spec.Scaled.
+func (s EmbedSpec) Scaled(n int) EmbedSpec {
+	if n >= s.N {
+		return s
+	}
+	ratio := float64(n) / float64(s.N)
+	out := s
+	out.N = n
+	out.NumClusters = int(float64(s.NumClusters)*ratio + 0.5)
+	if out.NumClusters < 1 {
+		out.NumClusters = 1
+	}
+	out.Name = fmt.Sprintf("%s~%d", s.Name, n)
+	return out
+}

@@ -1,0 +1,101 @@
+package quest
+
+import (
+	"math"
+	"testing"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/eval"
+	"sparkdbscan/internal/kdtree"
+)
+
+func TestGenerateEmbeddingDeterministic(t *testing.T) {
+	spec, err := EmbedByName("embed4k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.Scaled(600)
+	a, err := GenerateEmbedding(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateEmbedding(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Coords) != len(b.Coords) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Coords), len(b.Coords))
+	}
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatalf("coordinate %d differs: %g vs %g", i, a.Coords[i], b.Coords[i])
+		}
+	}
+	for i := range a.Label {
+		if a.Label[i] != b.Label[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+}
+
+func TestGenerateEmbeddingOnUnitSphere(t *testing.T) {
+	spec, err := EmbedByName("embed4k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := GenerateEmbedding(spec.Scaled(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dim != 128 {
+		t.Fatalf("Dim = %d, want 128", ds.Dim)
+	}
+	for i := int32(0); i < int32(ds.Len()); i++ {
+		var s float64
+		for _, x := range ds.At(i) {
+			s += x * x
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("point %d has squared norm %g, want 1", i, s)
+		}
+	}
+}
+
+// The reference parameters must make exact DBSCAN recover the planted
+// mixture: that is what the knn benchmark's NMI gate compares against.
+func TestEmbeddingDBSCANRecoversPlantedClusters(t *testing.T) {
+	spec, err := EmbedByName("embed4k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec = spec.Scaled(1200)
+	ds, err := GenerateEmbedding(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dbscan.Run(ds, kdtree.NewBruteForce(ds), dbscan.Params{Eps: spec.Eps, MinPts: spec.MinPts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != spec.NumClusters {
+		t.Fatalf("DBSCAN found %d clusters, planted %d", res.NumClusters, spec.NumClusters)
+	}
+	ari, err := eval.AdjustedRandIndex(res.Labels, ds.Label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.99 {
+		t.Fatalf("ARI vs ground truth = %g, want >= 0.99", ari)
+	}
+}
+
+func TestEmbedByNameUnknown(t *testing.T) {
+	if _, err := EmbedByName("nope"); err == nil {
+		t.Fatal("expected an error for an unknown embedding dataset")
+	}
+	for _, s := range EmbedSpecs() {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("reference spec %s invalid: %v", s.Name, err)
+		}
+	}
+}
