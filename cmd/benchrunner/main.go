@@ -7,6 +7,7 @@
 //	benchrunner -exp fig6b,fig8ef -scale 0.25  # share cached runs at a scale
 //	benchrunner -list                    # what exists
 //	benchrunner -chaosbench BENCH_chaos.json   # serving resilience under chaos
+//	benchrunner -livebench BENCH_live.json     # live updates: churn + staleness gates
 //
 // Absolute numbers come from the calibrated cost model described in
 // internal/simtime; the shapes (who wins, growth, crossovers) come from

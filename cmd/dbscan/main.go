@@ -8,6 +8,7 @@
 //	dbscan -in points.bin -eps 25 -minpts 5 -cores 8 -paper # paper's exact variant
 //	dbscan -in points.txt -eps 25 -minpts 5 -cores 8 -spatial # Z-order partitioning
 //	dbscan -in points.txt -eps 25 -minpts 5 -serve-demo -serve-chaos 53 # serving demo with fault injection
+//	dbscan -in points.txt -eps 25 -minpts 5 -serve-live     # live-update demo: insert/delete, reconcile, verify
 //	dbscan -in embed4k.bin -eps 0.4 -minpts 8 -mode knn     # high-dimensional kNN-graph mode (exact graph)
 //	dbscan -in embed4k.bin -eps 0.4 -minpts 8 -mode knn -knnalgo nndescent -knnseed 7 # approximate graph
 package main

@@ -1,0 +1,63 @@
+package sparkdbscan_test
+
+import (
+	"fmt"
+
+	"sparkdbscan"
+)
+
+// A clustering is computed once, then kept alive: points stream in and
+// out through a LiveModel, each mutation publishing a new epoch that
+// readers see atomically. A reconciliation rebuilds from scratch when
+// the overlay drifts too far.
+func ExampleNewLiveModel() {
+	// Two tight 2-d blobs.
+	coords := [][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1},
+		{50, 50}, {51, 50}, {50, 51}, {51, 51},
+	}
+	ds := sparkdbscan.NewDataset(len(coords), 2)
+	for i, c := range coords {
+		ds.Set(int32(i), c)
+	}
+	res, err := sparkdbscan.ClusterSequential(ds, 2, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	m, err := sparkdbscan.NewLiveModel(ds, res, 2, 3, sparkdbscan.LiveOptions{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// A bridge point between nothing: it lands as noise...
+	if err := m.Insert(100, []float64{25, 25}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	g := m.Pin()
+	fmt.Printf("after insert: epoch %d, live %d\n", g.Epoch(), g.Live())
+	g.Close()
+
+	// ...and deleting a blob member demotes nothing fatal: the blob
+	// keeps its identity.
+	if err := m.Delete(0); err != nil {
+		fmt.Println(err)
+		return
+	}
+	st := m.Stats()
+	fmt.Printf("after delete: live %d, drift %.3f\n", st.Live, st.Drift)
+
+	// Reconcile rebuilds from scratch on the survivors.
+	rst, err := m.ReconcileNow()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("reconciled: %d survivors, %d clusters\n", rst.Points, rst.Clusters)
+	// Output:
+	// after insert: epoch 2, live 9
+	// after delete: live 8, drift 0.250
+	// reconciled: 8 survivors, 2 clusters
+}

@@ -18,9 +18,11 @@ import (
 
 	"sparkdbscan/internal/bench"
 	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/eval"
 	"sparkdbscan/internal/geom"
 	"sparkdbscan/internal/kdtree"
 	"sparkdbscan/internal/knng"
+	"sparkdbscan/internal/live"
 	"sparkdbscan/internal/quest"
 	"sparkdbscan/internal/serve"
 	"sparkdbscan/internal/spark"
@@ -127,6 +129,7 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 
 		serveDemo  = fs.Bool("serve-demo", false, "after clustering, freeze a serving snapshot and answer a few sample queries through a live server")
 		serveChaos = fs.Uint64("serve-chaos", 0, "with -serve-demo: chaos-profile seed; inject worker faults during the demo to show supervision (0 = off)")
+		serveLive  = fs.Bool("serve-live", false, "after clustering, wrap the result in a mutable live model, apply inserts/deletes through a live server, reconcile, and verify against a from-scratch rerun")
 
 		mode       = fs.String("mode", "radius", "clustering mode: radius (kd-tree DBSCAN) or knn (kNN-graph DBSCAN for high-dimensional data)")
 		k          = fs.Int("k", 16, "knn mode: graph degree (must be >= minpts-1)")
@@ -342,6 +345,15 @@ func RunDBSCAN(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if *serveLive {
+		if knnMode {
+			return fmt.Errorf("dbscan: -serve-live needs -mode radius (the live model re-expands through eps-neighbourhoods)")
+		}
+		if err := runServeLiveDemo(stdout, ds, labels, params); err != nil {
+			return fmt.Errorf("dbscan: serve-live demo: %w", err)
+		}
+	}
+
 	if *out != "" {
 		if err := writeLabels(labels, *out); err != nil {
 			return err
@@ -392,6 +404,10 @@ func RunBench(args []string, stdout io.Writer) error {
 		knnbench  = fs.String("knnbench", "", "run the high-dimensional kNN-graph benchmark, write JSON to this path (e.g. BENCH_knn.json), and exit non-zero if an accuracy/speed gate fails")
 		knnpoints = fs.Int("knnpoints", 20000, "embedding points for -knnbench (d=128)")
 		knnseed   = fs.Uint64("knnseed", 1, "NN-descent sampling seed for -knnbench")
+
+		livebench  = fs.String("livebench", "", "run the live-update benchmark (mutation throughput, read tail under churn, staleness at reconcile), write JSON to this path (e.g. BENCH_live.json), and exit non-zero if a gate fails")
+		livepoints = fs.Int("livepoints", 20000, "dataset points for -livebench")
+		liveseed   = fs.Uint64("liveseed", 5, "mutation-stream seed for -livebench (same seed, same insert/delete sequence)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -413,6 +429,9 @@ func RunBench(args []string, stdout io.Writer) error {
 	}
 	if *knnbench != "" {
 		return bench.RunKNNBench(stdout, *knnbench, *knnpoints, *knnseed, *smoke)
+	}
+	if *livebench != "" {
+		return bench.RunLiveBench(stdout, *livebench, *livepoints, *liveseed, *smoke)
 	}
 	if *kdbench != "" {
 		return bench.RunKDBench(stdout, *kdbench, *kdreps)
@@ -557,6 +576,80 @@ func runServeDemo(stdout io.Writer, ds *geom.Dataset, labels []int32, core []boo
 	st := srv.Stats()
 	fmt.Fprintf(stdout, "  served %d queries in %d batches, p50 latency %s\n",
 		st.Completed, st.Batches, st.LatencyP50)
+	return nil
+}
+
+// runServeLiveDemo is the -serve-live smoke path: wrap the clustering
+// just computed in a mutable live model, route a handful of inserts
+// and deletions through the single-writer server while answering
+// queries, force a reconciliation, and verify the final labels match a
+// from-scratch DBSCAN on the surviving points.
+func runServeLiveDemo(stdout io.Writer, ds *geom.Dataset, labels []int32, p dbscan.Params) error {
+	if ds.Len() == 0 {
+		return fmt.Errorf("empty dataset")
+	}
+	m, err := live.NewModel(ds, labels, nil, p, live.Options{})
+	if err != nil {
+		return err
+	}
+	srv := live.NewServer(m, serve.Options{})
+	defer srv.Close()
+	st := m.Stats()
+	fmt.Fprintf(stdout, "\nlive demo: mutable model over %d points (epoch %d)\n", st.Live, st.Epoch)
+
+	// Insert a few points jittered off existing ones — they land inside
+	// clusters — and delete a couple of originals.
+	n := ds.Len()
+	nextID := int64(n)
+	for k := 0; k < 5; k++ {
+		src := ds.At(int32(k * n / 5))
+		pt := make([]float64, ds.Dim)
+		for d := range pt {
+			pt[d] = src[d] + 0.1*p.Eps*float64(d%2*2-1)
+		}
+		if err := srv.Insert(nextID, pt); err != nil {
+			return err
+		}
+		a, err := srv.Assign(context.Background(), pt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  insert id %d -> cluster %d (core %v, epoch %d)\n",
+			nextID, a.Cluster, a.Core, a.Epoch)
+		nextID++
+	}
+	for _, id := range []int64{0, int64(n / 2)} {
+		if err := srv.Delete(id); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "  delete id %d (epoch %d)\n", id, m.Epoch())
+	}
+
+	rst, err := m.ReconcileNow()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "  reconcile: %d survivors -> %d clusters in %s (drift was %.4f)\n",
+		rst.Points, rst.Clusters, rst.Duration.Round(time.Millisecond), rst.Drift)
+
+	g := m.Pin()
+	defer g.Close()
+	sds, slabels := g.Survivors()
+	res, err := dbscan.Run(sds, kdtree.Build(sds), p)
+	if err != nil {
+		return err
+	}
+	ari, err := eval.AdjustedRandIndex(slabels, res.Labels)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "  verify: ARI vs from-scratch DBSCAN on %d survivors = %.6f\n", sds.Len(), ari)
+	if ari < 0.9999 {
+		return fmt.Errorf("post-reconcile ARI %.6f below 0.9999", ari)
+	}
+	sstats := m.Stats()
+	fmt.Fprintf(stdout, "  model: epoch %d, %d inserts, %d deletes, %d reconciles\n",
+		sstats.Epoch, sstats.Inserts, sstats.Deletes, sstats.Reconciles)
 	return nil
 }
 

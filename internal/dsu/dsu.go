@@ -43,6 +43,18 @@ func (d *DSU) Find(x int32) int32 {
 	return root
 }
 
+// Add appends one new singleton set and returns its element id. The
+// live-update layer uses it to open a cluster handle when an inserted
+// core point founds a cluster the model has no id for; offline callers
+// that know n up front never need it.
+func (d *DSU) Add() int32 {
+	id := int32(len(d.parent))
+	d.parent = append(d.parent, id)
+	d.rank = append(d.rank, 0)
+	d.sets++
+	return id
+}
+
 // Union merges the sets containing a and b and reports whether a merge
 // actually happened (false if they were already together).
 func (d *DSU) Union(a, b int32) bool {

@@ -130,3 +130,28 @@ func BenchmarkUnionFind(b *testing.B) {
 		}
 	}
 }
+
+func TestAddGrowsSingletons(t *testing.T) {
+	d := New(2)
+	d.Union(0, 1)
+	id := d.Add()
+	if id != 2 {
+		t.Fatalf("Add returned %d, want 2", id)
+	}
+	if d.Len() != 3 || d.Sets() != 2 {
+		t.Fatalf("Len=%d Sets=%d after Add, want 3/2", d.Len(), d.Sets())
+	}
+	if d.Find(id) != id {
+		t.Fatalf("new element not a singleton root: Find(%d)=%d", id, d.Find(id))
+	}
+	if !d.Union(id, 0) {
+		t.Fatal("Union of fresh element with existing set reported no merge")
+	}
+	if !d.Same(id, 1) {
+		t.Fatal("added element did not join 0's set")
+	}
+	labels := d.Labels()
+	if len(labels) != 3 || labels[0] != labels[2] {
+		t.Fatalf("Labels after Add+Union: %v", labels)
+	}
+}

@@ -1,0 +1,84 @@
+package kdtree
+
+import (
+	"sort"
+	"testing"
+
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/rng"
+)
+
+// The Index contract is shared by three implementations: the packed
+// Tree, the BruteForce reference, and live.DeltaIndex (the mutable
+// model's overlay scanner, asserted in internal/live where it is
+// defined — this package cannot import it without a cycle). The
+// compile-time assertions here make sure the two local implementations
+// cannot drift away from the interface; TestIndexContractAgreement
+// makes sure they cannot drift away from each other semantically.
+var (
+	_ Index = (*Tree)(nil)
+	_ Index = (*BruteForce)(nil)
+)
+
+// TestIndexContractAgreement pins the observable contract — closed
+// balls, self-inclusion, RadiusCount == len(Radius), RadiusLimit a
+// subset — on both local implementations over the same random data.
+func TestIndexContractAgreement(t *testing.T) {
+	r := rng.New(99)
+	const n, dim = 400, 3
+	ds := geom.NewDataset(n, dim)
+	for i := range ds.Coords {
+		ds.Coords[i] = r.Float64() * 20
+	}
+	impls := map[string]Index{
+		"tree":  Build(ds),
+		"brute": NewBruteForce(ds),
+	}
+	for _, eps := range []float64{0.5, 2, 6} {
+		want := map[int32][]int32{}
+		for name, idx := range impls {
+			for qi := int32(0); qi < n; qi += 37 {
+				q := ds.At(qi)
+				got := idx.Radius(q, eps, nil, nil)
+				sorted := append([]int32(nil), got...)
+				sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+				self := false
+				for _, nb := range sorted {
+					if nb == qi {
+						self = true
+					}
+					if geom.SqDist(q, ds.At(nb)) > eps*eps {
+						t.Fatalf("%s eps=%g: reported %d outside the closed ball", name, eps, nb)
+					}
+				}
+				if !self {
+					t.Fatalf("%s eps=%g: query point %d missing from its own neighbourhood", name, eps, qi)
+				}
+				if c := idx.RadiusCount(q, eps, nil); c != len(sorted) {
+					t.Fatalf("%s eps=%g q=%d: RadiusCount=%d, Radius reported %d", name, eps, qi, c, len(sorted))
+				}
+				lim := idx.RadiusLimit(q, eps, 3, nil, nil)
+				if len(sorted) >= 3 && len(lim) != 3 {
+					t.Fatalf("%s eps=%g q=%d: RadiusLimit(3) returned %d", name, eps, qi, len(lim))
+				}
+				for _, nb := range lim {
+					if geom.SqDist(q, ds.At(nb)) > eps*eps {
+						t.Fatalf("%s eps=%g: RadiusLimit reported %d outside the ball", name, eps, nb)
+					}
+				}
+				if prev, ok := want[qi]; ok {
+					if len(prev) != len(sorted) {
+						t.Fatalf("eps=%g q=%d: implementations disagree: %d vs %d neighbours", eps, qi, len(prev), len(sorted))
+					}
+					for i := range prev {
+						if prev[i] != sorted[i] {
+							t.Fatalf("eps=%g q=%d: implementations disagree at %d", eps, qi, i)
+						}
+					}
+				} else {
+					want[qi] = sorted
+				}
+			}
+		}
+	}
+}

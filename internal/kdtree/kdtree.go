@@ -50,8 +50,23 @@ func (s *SearchStats) Add(other SearchStats) {
 	s.Reported += other.Reported
 }
 
-// Index is the neighbourhood-query interface DBSCAN runs against. Both
-// *Tree and *BruteForce satisfy it.
+// Index is the neighbourhood-query contract every eps-range structure
+// in this repository answers DBSCAN through. Three implementations
+// share it and must not drift (contract_test.go pins all three at
+// compile time, and the property tests pin Tree against BruteForce
+// behaviourally):
+//
+//   - *Tree: the packed bucketed kd-tree, immutable after Build.
+//   - *BruteForce: the O(n)-per-query linear scan reference.
+//   - live.DeltaIndex: the append-only overlay of a mutable live
+//     model — the delta points inserted since the last reconcile,
+//     scanned brute-force and queried alongside the frozen Tree.
+//
+// Contract details shared by all implementations: neighbourhoods are
+// closed balls (distance <= eps), a dataset point within eps of q is
+// reported even if it coincides with q, returned indices identify
+// points in the implementation's own index space, order is
+// unspecified, and stats may be nil.
 type Index interface {
 	// Radius appends to out the indices of all points within eps
 	// (Euclidean) of q, in unspecified order, and returns the extended
@@ -138,6 +153,8 @@ type Tree struct {
 	leafSize   int
 	buildOps   int64
 }
+
+var _ Index = (*Tree)(nil)
 
 // Build constructs a tree over ds with the default leaf size.
 func Build(ds *geom.Dataset) *Tree { return BuildLeafSize(ds, defaultLeafSize) }

@@ -1,0 +1,129 @@
+package live
+
+import (
+	"sort"
+	"time"
+
+	"sparkdbscan/internal/rng"
+	"sparkdbscan/internal/serve"
+)
+
+// MixedOptions parameterizes RunMixedLoad: a read workload (delegated
+// to serve.RunLoad) racing a paced write stream against the same live
+// server.
+type MixedOptions struct {
+	// Read-side knobs, passed through to serve.LoadOptions: Clients
+	// goroutines (closed loop) or QPS arrivals (open loop) for
+	// Duration, each query bounded by RequestTimeout.
+	Clients        int
+	QPS            float64
+	Duration       time.Duration
+	RequestTimeout time.Duration
+
+	// WriteRate is the offered mutation rate per second (0: no writes —
+	// the read-only baseline arm).
+	WriteRate float64
+	// DeleteFrac is the probability a mutation is a deletion of a
+	// previously inserted point rather than an insertion (default 0.3).
+	DeleteFrac float64
+	// Jitter is the per-coordinate uniform displacement applied to a
+	// sampled workload point to make an inserted point (default 1.0).
+	Jitter float64
+	// Seed drives the mutation stream deterministically.
+	Seed uint64
+}
+
+// MixedReport is RunMixedLoad's outcome: the read-side taxonomy plus
+// the write-side throughput and latency distribution.
+type MixedReport struct {
+	Read serve.LoadReport `json:"read"`
+
+	Writes      uint64 `json:"writes"`
+	Inserts     uint64 `json:"inserts"`
+	Deletes     uint64 `json:"deletes"`
+	WriteErrors uint64 `json:"write_errors"`
+
+	WriteMean     time.Duration `json:"write_mean_ns"`
+	WriteP99      time.Duration `json:"write_p99_ns"`
+	UpdatesPerSec float64       `json:"updates_per_sec"`
+}
+
+// RunMixedLoad drives s with reads from w and a concurrent seeded
+// insert/delete stream: the churn arm of BENCH_live. Inserted points
+// are jittered samples of the read workload (they land inside the
+// clustered distribution, the serving-time common case); deletions
+// pick uniformly among the points this run inserted, so the base
+// dataset is never torn out from under the read workload.
+func RunMixedLoad(s *Server, w serve.Workload, o MixedOptions) MixedReport {
+	if o.DeleteFrac == 0 {
+		o.DeleteFrac = 0.3
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 1.0
+	}
+	var rep MixedReport
+	readDone := make(chan serve.LoadReport, 1)
+	go func() {
+		readDone <- serve.RunLoad(s.Server, w, serve.LoadOptions{
+			Clients: o.Clients, QPS: o.QPS, Duration: o.Duration,
+			RequestTimeout: o.RequestTimeout,
+		})
+	}()
+
+	if o.WriteRate > 0 && w.N() > 0 {
+		r := rng.New(o.Seed)
+		dim := w.Dim
+		var ids []int64
+		nextID := int64(1) << 40 // clear of the model's base ids
+		var lats []time.Duration
+		pt := make([]float64, dim)
+		start := time.Now()
+		end := start.Add(o.Duration)
+		interval := time.Duration(float64(time.Second) / o.WriteRate)
+		for next := start; next.Before(end); next = next.Add(interval) {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			var err error
+			t0 := time.Now()
+			if len(ids) > 0 && r.Float64() < o.DeleteFrac {
+				i := r.Intn(len(ids))
+				id := ids[i]
+				ids[i] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+				err = s.Delete(id)
+				rep.Deletes++
+			} else {
+				q := w.At(r.Intn(w.N()))
+				for d := 0; d < dim; d++ {
+					pt[d] = q[d] + (r.Float64()*2-1)*o.Jitter
+				}
+				id := nextID
+				nextID++
+				err = s.Insert(id, pt)
+				ids = append(ids, id)
+				rep.Inserts++
+			}
+			lats = append(lats, time.Since(t0))
+			rep.Writes++
+			if err != nil {
+				rep.WriteErrors++
+			}
+		}
+		if elapsed := time.Since(start); elapsed > 0 {
+			rep.UpdatesPerSec = float64(rep.Writes) / elapsed.Seconds()
+		}
+		if len(lats) > 0 {
+			var sum time.Duration
+			for _, l := range lats {
+				sum += l
+			}
+			rep.WriteMean = sum / time.Duration(len(lats))
+			sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+			rep.WriteP99 = lats[len(lats)*99/100]
+		}
+	}
+
+	rep.Read = <-readDone
+	return rep
+}

@@ -1,0 +1,159 @@
+package live
+
+import (
+	"time"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/dsu"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+)
+
+// ReconcileStats describes one reconciliation.
+type ReconcileStats struct {
+	// Points is the survivor count the new base was built over.
+	Points int `json:"points"`
+	// Drift is mutations-since-base / live at the moment the reconcile
+	// started — how stale the overlay had become.
+	Drift float64 `json:"drift"`
+	// Clusters is the cluster count of the fresh clustering.
+	Clusters int `json:"clusters"`
+	// Duration is the wall-clock cost of the rebuild (writes queue
+	// behind it; reads are unaffected).
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// NeedsReconcile reports whether either reconciliation threshold
+// (overlay size or drift) is currently exceeded.
+func (m *Model) NeedsReconcile() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.needsReconcileLocked()
+}
+
+func (m *Model) needsReconcileLocked() bool {
+	overlay := m.overlayN + (m.base.n + m.overlayN - m.live)
+	if m.opts.MaxOverlay > 0 && overlay > m.opts.MaxOverlay {
+		return true
+	}
+	if m.opts.MaxDrift > 0 && m.live > 0 &&
+		float64(m.mutations)/float64(m.live) > m.opts.MaxDrift {
+		return true
+	}
+	return false
+}
+
+// maybeReconcile runs a reconcile if a threshold is exceeded. Called
+// under m.mu at the end of each mutation.
+func (m *Model) maybeReconcile() {
+	if m.needsReconcileLocked() {
+		m.reconcileLocked()
+	}
+}
+
+// ReconcileNow rebuilds the model from scratch on the surviving
+// points: compact the live points into a fresh dataset (preserving
+// external ids), rerun the offline pipeline (kd-tree build + DBSCAN),
+// and publish the result as a new frozen base with an empty overlay.
+// Reads are unaffected throughout — pinned epochs keep answering from
+// their snapshots and the swap is one atomic publish; writes queue
+// behind the rebuild on the writer lock. After ReconcileNow the
+// model's labels are exactly from-scratch DBSCAN's (the property tests
+// pin ARI == 1), which is what bounds the one-sided drift.
+func (m *Model) ReconcileNow() (ReconcileStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reconcileLocked()
+}
+
+func (m *Model) reconcileLocked() (ReconcileStats, error) {
+	start := time.Now()
+	st := ReconcileStats{Points: m.live}
+	if m.live > 0 {
+		st.Drift = float64(m.mutations) / float64(m.live)
+	}
+
+	n := m.live
+	ds := geom.NewDataset(n, m.base.ds.Dim)
+	ids := make([]int64, 0, n)
+	total := m.base.n + m.overlayN
+	k := int32(0)
+	for g := 0; g < total; g++ {
+		if m.tomb[g] {
+			continue
+		}
+		ds.Set(k, m.at(int32(g)))
+		ids = append(ids, m.ids[g])
+		k++
+	}
+	tree := kdtree.Build(ds)
+	res, err := dbscan.Run(ds, tree, m.p)
+	if err != nil {
+		return st, err
+	}
+	st.Clusters = res.NumClusters
+
+	m.base = &baseSnap{ds: ds, tree: tree, n: n}
+	m.labels = res.Labels
+	m.core = res.Core
+	m.counts = make([]int32, n)
+	m.tomb = make([]bool, n)
+	m.ids = ids
+	m.idx = make(map[int64]int32, n)
+	for i, id := range ids {
+		m.idx[id] = int32(i)
+		m.counts[i] = int32(tree.RadiusCount(ds.At(int32(i)), m.p.Eps, nil))
+	}
+	m.extra = nil
+	m.overlayN = 0
+	m.live = n
+	nh := res.NumClusters
+	m.handles = dsu.New(nh)
+	m.compMin = make([]int32, nh)
+	m.canon = make([]int32, nh)
+	for h := 0; h < nh; h++ {
+		m.compMin[h] = int32(h)
+		m.canon[h] = int32(h)
+	}
+	m.canonDirty = false
+	m.mutations = 0
+	m.reconciles++
+	clear(m.dirty)
+
+	// Publish the rebuilt state as a full fresh spine. Every old chunk
+	// is replaced at once, so the outgoing view is the last referencer
+	// of all of them.
+	old := m.cur.Load()
+	nChunks := (n + chunkPts - 1) / chunkPts
+	spine := make([]*chunk, nChunks)
+	for cid := 0; cid < nChunks; cid++ {
+		c := m.getChunk()
+		m.fillChunk(c, int32(cid))
+		spine[cid] = c
+	}
+	m.epoch++
+	v := &view{
+		epoch: m.epoch, base: m.base, chunks: spine,
+		extraN: 0, canon: m.canon, live: n,
+		eps: m.p.Eps, minPts: m.p.MinPts, dim: ds.Dim,
+	}
+	old.garbage = append(old.garbage, old.chunks...)
+	m.retired = append(m.retired, old)
+	m.cur.Store(v)
+	if m.testOnPublish != nil {
+		m.testOnPublish(v)
+	}
+	m.sweep()
+
+	st.Duration = time.Since(start)
+	m.lastReconcile = st
+	return st, nil
+}
+
+// LastReconcile returns the stats of the most recent reconciliation
+// (zero value if none has run).
+func (m *Model) LastReconcile() ReconcileStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastReconcile
+}

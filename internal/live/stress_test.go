@@ -1,0 +1,302 @@
+package live
+
+// White-box concurrency tests for the epoch protocol. They mirror the
+// PR 8 hot-swap-vs-chaos shape: every reader response is verified
+// against a snapshot of exactly the epoch that served it, while a
+// writer storms mutations and swaps a reconciled base underneath.
+// Run with -race: the assertions catch torn updates, the detector
+// catches any unsynchronized reuse of reclaimed chunks.
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+
+	"sparkdbscan/internal/dbscan"
+	"sparkdbscan/internal/geom"
+	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/rng"
+	"sparkdbscan/internal/serve"
+)
+
+var stressParams = dbscan.Params{Eps: 1.2, MinPts: 4}
+
+func stressModel(t *testing.T, n int, seed uint64) *Model {
+	t.Helper()
+	r := rng.New(seed)
+	ds := geom.NewDataset(n, 2)
+	for i := range ds.Coords {
+		ds.Coords[i] = r.Float64() * 20
+	}
+	tree := kdtree.Build(ds)
+	res, err := dbscan.Run(ds, tree, stressParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(ds, res.Labels, tree, stressParams, Options{MaxOverlay: -1, MaxDrift: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// epochWindow keeps the last few published views pinned (via the
+// testOnPublish hook, under the writer lock) together with a label
+// snapshot materialized at publish time. Readers that land on a
+// windowed epoch verify every label against the snapshot; readers on
+// an evicted epoch skip verification (their pin still exercises the
+// reclamation protocol).
+type epochWindow struct {
+	mu    sync.Mutex
+	snaps map[uint64]*epochSnap
+	order []uint64
+	keep  int
+}
+
+type epochSnap struct {
+	v      *view
+	labels []int32
+}
+
+func (w *epochWindow) publishHook(v *view) {
+	v.readers.Add(1) // pin before any later epoch can retire-and-sweep it
+	labels := make([]int32, v.base.n+v.extraN)
+	for i := range labels {
+		labels[i] = v.labelAt(int32(i))
+	}
+	w.mu.Lock()
+	w.snaps[v.epoch] = &epochSnap{v: v, labels: labels}
+	w.order = append(w.order, v.epoch)
+	for len(w.order) > w.keep {
+		old := w.order[0]
+		w.order = w.order[1:]
+		w.snaps[old].v.readers.Add(-1)
+		delete(w.snaps, old)
+	}
+	w.mu.Unlock()
+}
+
+func (w *epochWindow) lookup(epoch uint64) *epochSnap {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.snaps[epoch]
+}
+
+func (w *epochWindow) drain() {
+	w.mu.Lock()
+	for _, e := range w.order {
+		w.snaps[e].v.readers.Add(-1)
+	}
+	w.order = nil
+	w.snaps = map[uint64]*epochSnap{}
+	w.mu.Unlock()
+}
+
+func TestConcurrentReadersAcrossEpochs(t *testing.T) {
+	const (
+		baseN   = 600
+		ops     = 500
+		readers = 4
+	)
+	m := stressModel(t, baseN, 7)
+	w := &epochWindow{snaps: map[uint64]*epochSnap{}, keep: 8}
+	// Window the initial view too, so readers arriving before the first
+	// mutation verify against something.
+	w.publishHook(m.cur.Load())
+	m.mu.Lock()
+	m.testOnPublish = w.publishHook
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	errs := make(chan string, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(1000 + g))
+			var nbrs []int32
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				guard := m.Pin()
+				snap := w.lookup(guard.Epoch())
+				if snap != nil {
+					if snap.v != guard.v {
+						errs <- "epoch " + strconv.FormatUint(guard.Epoch(), 10) + ": distinct view objects"
+						guard.Close()
+						return
+					}
+					for k := 0; k < 50; k++ {
+						i := int32(r.Intn(len(snap.labels)))
+						if got := guard.Label(i); got != snap.labels[i] {
+							errs <- "epoch " + strconv.FormatUint(guard.Epoch(), 10) +
+								": label of point " + strconv.Itoa(int(i)) + " torn: " +
+								strconv.Itoa(int(got)) + " != snapshot " + strconv.Itoa(int(snap.labels[i]))
+							guard.Close()
+							return
+						}
+					}
+				}
+				// Exercise the serving read path against the pinned view too.
+				q := []float64{r.Float64() * 20, r.Float64() * 20}
+				var a = guard.Assign(q)
+				_ = a
+				_, nbrs = guard.v.assign(q, nbrs)
+				guard.Close()
+			}
+		}(g)
+	}
+
+	// Mutation storm with a reconcile swap in the middle.
+	r := rng.New(99)
+	var ids []int64
+	nextID := int64(1 << 20)
+	for op := 0; op < ops; op++ {
+		if op == ops/2 {
+			if _, err := m.ReconcileNow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(ids) > 0 && r.Float64() < 0.35 {
+			i := r.Intn(len(ids))
+			id := ids[i]
+			ids[i] = ids[len(ids)-1]
+			ids = ids[:len(ids)-1]
+			if err := m.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			id := nextID
+			nextID++
+			if err := m.Insert(id, []float64{r.Float64() * 20, r.Float64() * 20}); err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, id)
+		}
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+	w.drain()
+}
+
+// TestReclamationWaitsForReaders pins one epoch through a mutation
+// storm and checks the protocol end to end: while the pin is held no
+// retired view is swept past it (the guard's snapshot stays intact and
+// the retired list grows); after release, one more publish recycles
+// the backlog into the chunk pool.
+func TestReclamationWaitsForReaders(t *testing.T) {
+	m := stressModel(t, 300, 13)
+	g := m.Pin()
+	before := make([]int32, g.NumPoints())
+	for i := range before {
+		before[i] = g.Label(int32(i))
+	}
+
+	r := rng.New(14)
+	for i := 0; i < 120; i++ {
+		if err := m.Insert(int64(5000+i), []float64{r.Float64() * 20, r.Float64() * 20}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.mu.Lock()
+	held := len(m.retired)
+	pooled := len(m.pool)
+	m.mu.Unlock()
+	if held < 100 {
+		t.Fatalf("retired views were swept past a pinned epoch: %d held", held)
+	}
+	if pooled != 0 {
+		t.Fatalf("chunks recycled while the oldest epoch was pinned: %d", pooled)
+	}
+	for i := range before {
+		if got := g.Label(int32(i)); got != before[i] {
+			t.Fatalf("pinned snapshot corrupted at %d: %d -> %d", i, before[i], got)
+		}
+	}
+	g.Close()
+	if err := m.Insert(9999, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	held = len(m.retired)
+	pooled = len(m.pool)
+	m.mu.Unlock()
+	if held != 0 {
+		t.Fatalf("retired backlog not swept after release: %d", held)
+	}
+	if pooled == 0 {
+		t.Fatal("no chunks recycled after release")
+	}
+}
+
+// TestServerChurnWithSwap drives the full serving stack — wait-free
+// reads through serve.Server workers, writes through the single-writer
+// goroutine, auto-reconcile swaps — under -race.
+func TestServerChurnWithSwap(t *testing.T) {
+	m := stressModel(t, 400, 17)
+	// Re-enable thresholds so the storm crosses them and swaps happen.
+	m.mu.Lock()
+	m.opts = Options{MaxOverlay: 96, MaxDrift: -1}.withDefaults()
+	m.mu.Unlock()
+
+	s := NewServer(m, serve.Options{Workers: 2, BatchCap: 8})
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(31 + g))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q := []float64{r.Float64() * 20, r.Float64() * 20}
+				a, err := s.Assign(context.Background(), q)
+				if err == nil && a.Epoch == 0 {
+					t.Error("answer missing epoch stamp")
+					return
+				}
+			}
+		}(g)
+	}
+	r := rng.New(37)
+	for i := 0; i < 400; i++ {
+		var err error
+		if i%3 == 2 && i > 10 {
+			err = s.Delete(int64(7000 + i - 5))
+			if err != nil {
+				// The target may itself have been deleted; only insert
+				// errors are fatal in this storm.
+				err = nil
+			}
+		} else {
+			err = s.Insert(int64(7000+i), []float64{r.Float64() * 20, r.Float64() * 20})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if m.Reconciles() == 0 {
+		t.Fatal("storm never crossed the reconcile threshold")
+	}
+	if _, gen := s.Model(); gen < 2 {
+		t.Fatalf("generation never advanced across reconcile swaps: %d", gen)
+	}
+}

@@ -151,7 +151,33 @@ type Assignment struct {
 	// Hedged reports that the answer came from a hedged re-dispatch
 	// rather than the primary one (always false without hedging).
 	Hedged bool
+	// Epoch identifies the mutable-model epoch that served the answer.
+	// Frozen Models always report 0; live models (internal/live) stamp
+	// the epoch of the view the answer was computed against, which
+	// advances with every published mutation — finer-grained than
+	// Generation, which only moves on hot-swap.
+	Epoch uint64
 }
+
+// Snapshot is what a Server serves: any consistent, concurrently
+// readable view that can answer assignment queries. The frozen *Model
+// is the canonical implementation; live.Model's epoch views implement
+// it too, which is how the write path slots under the unchanged
+// serving machinery. Implementations must be safe for unlimited
+// concurrent callers and must answer every query against one coherent
+// state (frozen data, or one pinned epoch per call).
+type Snapshot interface {
+	// Dim returns the dimensionality queries must have.
+	Dim() int
+	// AssignBatch answers one query per point of qs (flat row-major,
+	// len(out) points), writing the Assignment for query i to out[i].
+	AssignBatch(qs []float64, out []Assignment)
+	// AssignOne answers a single query, reusing the caller's neighbour
+	// buffer (returned grown for the next call).
+	AssignOne(q []float64, nbrs []int32) (Assignment, []int32)
+}
+
+var _ Snapshot = (*Model)(nil)
 
 // classify turns one query's eps-neighbourhood into an Assignment.
 // Taking the minimum labelled core neighbour makes the answer a pure

@@ -145,9 +145,9 @@ func (o Options) withDefaults() Options {
 }
 
 // liveModel pairs a snapshot with its generation so one atomic load
-// gives workers a consistent (model, generation) view per batch.
+// gives workers a consistent (snapshot, generation) view per batch.
 type liveModel struct {
-	m   *Model
+	s   Snapshot
 	gen uint64
 }
 
@@ -200,9 +200,10 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// NewServer starts a serving pool over m. The caller must Close (or
-// Drain) it.
-func NewServer(m *Model, opts Options) *Server {
+// NewServer starts a serving pool over snap (a frozen *Model or any
+// other Snapshot, e.g. a live model's serving view). The caller must
+// Close (or Drain) it.
+func NewServer(snap Snapshot, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:    opts,
@@ -212,7 +213,7 @@ func NewServer(m *Model, opts Options) *Server {
 		done:    make(chan struct{}),
 	}
 	s.gen.Store(1)
-	s.cur.Store(&liveModel{m: m, gen: 1})
+	s.cur.Store(&liveModel{s: snap, gen: 1})
 	s.hedgeNs.Store(int64(hedgeDelayInit))
 	s.hedgeTokens.Store(int64(opts.HedgeBurst) * milliToken)
 	perShard := (opts.QueueCap + opts.Workers - 1) / opts.Workers
@@ -245,7 +246,7 @@ func (s *Server) Assign(ctx context.Context, q []float64) (Assignment, error) {
 // traded away in value order before anyone is shed indiscriminately.
 func (s *Server) AssignPriority(ctx context.Context, q []float64, pri Priority) (Assignment, error) {
 	noise := Assignment{Cluster: Noise}
-	if d := s.cur.Load().m.Dim(); len(q) != d {
+	if d := s.cur.Load().s.Dim(); len(q) != d {
 		return noise, fmt.Errorf("serve: query has %d coordinates, model wants %d", len(q), d)
 	}
 
@@ -590,7 +591,7 @@ func (s *Server) serveBatch(w *workerState, lm *liveModel, live []*request, bufs
 			for _, r := range live {
 				bufs.qbuf = append(bufs.qbuf, r.q...)
 			}
-			lm.m.AssignBatch(bufs.qbuf, bufs.abuf[:len(live)])
+			lm.s.AssignBatch(bufs.qbuf, bufs.abuf[:len(live)])
 			return true
 		}()
 		if ok {
@@ -619,7 +620,7 @@ func (s *Server) serveOne(w *workerState, lm *liveModel, r *request, bufs *worke
 		panic("chaos: poisoned request")
 	}
 	var a Assignment
-	a, bufs.nbrs = lm.m.assignReuse(r.q, bufs.nbrs)
+	a, bufs.nbrs = lm.s.AssignOne(r.q, bufs.nbrs)
 	s.finish(w, r, a, lm.gen)
 }
 
@@ -647,9 +648,11 @@ func (s *Server) finish(w *workerState, r *request, a Assignment, gen uint64) {
 	}
 }
 
-// assignReuse answers one query against the snapshot, reusing the
-// caller's neighbour buffer (returned grown for the next call).
-func (m *Model) assignReuse(q []float64, nbrs []int32) (Assignment, []int32) {
+// AssignOne answers one query against the snapshot, reusing the
+// caller's neighbour buffer (returned grown for the next call). It is
+// the single-request arm of the Snapshot contract; hot loops that lack
+// a reusable buffer should use Assign instead.
+func (m *Model) AssignOne(q []float64, nbrs []int32) (Assignment, []int32) {
 	nbrs = m.tree.Radius(q, m.eps, nbrs[:0], nil)
 	return m.classify(nbrs), nbrs
 }
@@ -664,21 +667,21 @@ func (m *Model) assignReuse(q []float64, nbrs []int32) (Assignment, []int32) {
 // respawning workers mid-swap. The new model must have the same
 // dimensionality (queries are validated at admission against the
 // then-current model).
-func (s *Server) Swap(m *Model) (uint64, error) {
+func (s *Server) Swap(snap Snapshot) (uint64, error) {
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
-	if d := s.cur.Load().m.Dim(); m.Dim() != d {
-		return 0, fmt.Errorf("serve: swap dimensionality %d != current %d", m.Dim(), d)
+	if d := s.cur.Load().s.Dim(); snap.Dim() != d {
+		return 0, fmt.Errorf("serve: swap dimensionality %d != current %d", snap.Dim(), d)
 	}
 	gen := s.gen.Add(1)
-	s.cur.Store(&liveModel{m: m, gen: gen})
+	s.cur.Store(&liveModel{s: snap, gen: gen})
 	return gen, nil
 }
 
 // Model returns the currently served snapshot and its generation.
-func (s *Server) Model() (*Model, uint64) {
+func (s *Server) Model() (Snapshot, uint64) {
 	lm := s.cur.Load()
-	return lm.m, lm.gen
+	return lm.s, lm.gen
 }
 
 // Stats snapshots the serving metrics.

@@ -31,6 +31,7 @@ import (
 	"sparkdbscan/internal/geom"
 	"sparkdbscan/internal/kdist"
 	"sparkdbscan/internal/kdtree"
+	"sparkdbscan/internal/live"
 	"sparkdbscan/internal/quest"
 	"sparkdbscan/internal/serve"
 	"sparkdbscan/internal/spark"
@@ -355,6 +356,60 @@ func Freeze(ds *Dataset, res *Result, eps float64, minPts int) (*Model, error) {
 // NewServer starts a serving pool over m. The caller must Close it.
 func NewServer(m *Model, opts ServeOptions) *Server {
 	return serve.NewServer(m, opts)
+}
+
+// ---- live updates ----
+//
+// A frozen Model is immutable; a LiveModel additionally absorbs point
+// insertions and deletions with IncrementalDBSCAN-style local updates,
+// serving reads wait-free from immutable epoch snapshots. Between
+// reconciliations the clustering degrades one-sidedly (core flags and
+// noise stay exact; clusters can only be coarser than a from-scratch
+// run); reconciliation — automatic past an overlay-size or drift
+// threshold, or on demand — reruns the offline pipeline on the
+// survivors and restores exactness. See internal/live, DESIGN.md §17
+// and examples/liveserving.
+
+// LiveModel is a mutable DBSCAN model: a frozen base plus a delta
+// overlay, read through pinned epoch snapshots. One goroutine may
+// mutate (Insert, Delete, ReconcileNow) while any number read.
+type LiveModel = live.Model
+
+// LiveOptions configures a LiveModel's reconciliation thresholds; the
+// zero value picks defaults (reconcile past 4096 overlay entries or
+// 25% drift).
+type LiveOptions = live.Options
+
+// LiveGuard is a pinned epoch of a LiveModel: a consistent, immutable
+// snapshot. Close it to release the epoch's memory.
+type LiveGuard = live.Guard
+
+// LiveStats snapshots a LiveModel's mutation counters.
+type LiveStats = live.Stats
+
+// ReconcileStats describes one reconciliation (survivor count, drift
+// at trigger, rebuild cost).
+type ReconcileStats = live.ReconcileStats
+
+// LiveServer is a serving pool over a LiveModel: the wait-free read
+// path of Server plus a single-writer mutation path (Insert, Delete)
+// that publishes each change as a new epoch.
+type LiveServer = live.Server
+
+// NewLiveModel wraps a finished clustering in a mutable live model.
+// eps and minPts must be the values res was clustered with; the
+// dataset is adopted and must not be mutated afterwards.
+func NewLiveModel(ds *Dataset, res *Result, eps float64, minPts int, opts LiveOptions) (*LiveModel, error) {
+	if res == nil {
+		return nil, fmt.Errorf("sparkdbscan: NewLiveModel needs a clustering result")
+	}
+	return live.NewModel(ds, res.Labels, nil, dbscan.Params{Eps: eps, MinPts: minPts}, opts)
+}
+
+// NewLiveServer starts a serving pool over m's current and future
+// epochs. The caller must Close (or Drain) it.
+func NewLiveServer(m *LiveModel, opts ServeOptions) *LiveServer {
+	return live.NewServer(m, opts)
 }
 
 // SaveDataset writes ds to path, choosing the format by extension as in
